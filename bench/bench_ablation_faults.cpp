@@ -1,0 +1,64 @@
+// Ablation: graceful degradation (§4.1). "the HD classifier exhibits a
+// graceful degradation with lower dimensionality, or faulty components,
+// allowing a trade-off between the application's accuracy and the
+// available hardware resources".
+//
+// Injects symmetric bit errors into the trained associative memory and
+// measures EMG accuracy as the error rate grows; repeats at 10,000-D and
+// 2,000-D to show how dimensionality buys fault margin.
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "emg/protocol.hpp"
+#include "hd/noise.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+double accuracy_with_faulty_am(const emg::EmgDataset& dataset, std::size_t dim,
+                               double bit_error_rate) {
+  const emg::ProtocolConfig protocol;
+  double accuracy_sum = 0.0;
+  for (std::size_t s = 0; s < dataset.config.subjects; ++s) {
+    hd::HdClassifier clf = emg::train_hd_subject(dataset, s, dim, protocol);
+    const hd::AssociativeMemory faulty =
+        hd::am_with_faults(clf.am(), bit_error_rate, 0xfa117 + s);
+    const auto split = dataset.split(s, protocol.train_fraction);
+    std::size_t correct = 0;
+    for (const emg::EmgTrial* trial : split.test) {
+      const hd::Hypervector query =
+          clf.encode_query(emg::active_segment(trial->envelope, protocol));
+      correct += faulty.classify(query).label == trial->label;
+    }
+    accuracy_sum += static_cast<double>(correct) / static_cast<double>(split.test.size());
+  }
+  return accuracy_sum / static_cast<double>(dataset.config.subjects);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: graceful degradation under faulty AM components (Section 4.1)\n");
+
+  const emg::EmgDataset dataset = emg::generate_dataset(emg::GeneratorConfig{});
+  const std::vector<double> error_rates = {0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.45};
+
+  TextTable table("Mean EMG accuracy vs AM bit-error rate");
+  table.set_header({"bit-error rate", "accuracy @ 10,000-D", "accuracy @ 2,000-D"});
+  CsvWriter csv("fault_tolerance.csv", {"error_rate", "accuracy_10000d", "accuracy_2000d"});
+
+  for (const double rate : error_rates) {
+    const double a10k = accuracy_with_faulty_am(dataset, 10000, rate);
+    const double a2k = accuracy_with_faulty_am(dataset, 2000, rate);
+    table.add_row({fmt_percent(rate), fmt_percent(a10k), fmt_percent(a2k)});
+    csv.add_row({std::to_string(rate), std::to_string(a10k), std::to_string(a2k)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape check: accuracy degrades gracefully — still near its fault-free\n"
+            "level at 20-30% corrupted cells, collapsing only as the rate nears 50%\n"
+            "(where the code's information is destroyed). Higher D degrades later.");
+  std::puts("Series written to fault_tolerance.csv");
+  return 0;
+}

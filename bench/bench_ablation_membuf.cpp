@@ -1,0 +1,51 @@
+// Ablation: double buffering (§3). "By applying a double buffering policy
+// via DMA, data are moved from high latency memory (L2) to L1 memory while
+// the cores are processing the data already available in L1."
+//
+// Compares the chain with overlapped (ping/pong) transfers against a
+// serialized fetch-then-compute policy, across platforms and channel
+// counts. The gap widens as the streamed matrices grow.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pulphd;
+
+  std::puts("Ablation: DMA double buffering on/off\n");
+
+  TextTable table("Double buffering ablation (cycles per classification)");
+  table.set_header({"Platform", "channels", "overlapped(k)", "serialized(k)", "saving"});
+
+  struct Case {
+    sim::ClusterConfig cluster;
+    std::size_t channels;
+  };
+  const std::vector<Case> cases = {
+      {sim::ClusterConfig::pulpv3(4), 4},    {sim::ClusterConfig::wolf(8, true), 4},
+      {sim::ClusterConfig::wolf(8, true), 32}, {sim::ClusterConfig::wolf(8, true), 128},
+      {sim::ClusterConfig::wolf(8, true), 256},
+  };
+
+  for (const Case& c : cases) {
+    const hd::HdClassifier model = bench::trained_model(10000, c.channels, 1);
+    const auto window = bench::bench_window(c.channels, 1);
+    kernels::ChainConfig on;
+    on.double_buffering = true;
+    kernels::ChainConfig off;
+    off.double_buffering = false;
+    const std::uint64_t fast =
+        kernels::ProcessingChain(c.cluster, model, on).classify(window).cycles.total();
+    const std::uint64_t slow =
+        kernels::ProcessingChain(c.cluster, model, off).classify(window).cycles.total();
+    table.add_row({c.cluster.name, std::to_string(c.channels),
+                   fmt_cycles_k(static_cast<double>(fast)),
+                   fmt_cycles_k(static_cast<double>(slow)),
+                   fmt_percent(1.0 - static_cast<double>(fast) / static_cast<double>(slow))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape check: overlapping hides nearly the whole transfer time; the\n"
+            "saving grows with the streamed IM footprint (many channels).");
+  return 0;
+}

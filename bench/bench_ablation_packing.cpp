@@ -1,0 +1,88 @@
+// Ablation: bit-packing (§3). "We directly map 32 consecutive binary
+// components of a hypervector to an unsigned integer variable with 32
+// bits ... This leads to a significant reduction of the memory accesses."
+//
+// Models the same chain with one byte per binary component (the naive
+// layout): every XOR/majority/Hamming step touches 32x the words, the
+// binding XOR degenerates to a byte-wise loop, and the popcount becomes a
+// plain accumulation. Charged with the same ISA cost tables.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+/// Cycles of the unpacked (byte-per-component) chain on one core:
+/// bind (XOR per component), majority (sum/compare per component) and AM
+/// (compare-accumulate per component), with the same loop/addressing costs
+/// the packed kernels pay.
+std::uint64_t unpacked_chain_cycles(const sim::IsaCostTable& isa, std::size_t dim,
+                                    std::size_t operands, std::size_t classes) {
+  sim::CoreContext ctx(isa, 1.0);
+  // Binding: per component, per channel: ld E, ld V, xor, st.
+  ctx.loop_iters(dim * operands);
+  ctx.load_l1(2 * dim * operands);
+  ctx.addr_update(3 * dim * operands);
+  ctx.alu(dim * operands);
+  ctx.store_l1(dim * operands);
+  // Majority: per component: inner loop over operands (ld + add), compare,
+  // store — the extract/insert machinery disappears but every access is a
+  // full memory operation now.
+  ctx.loop_iters(dim * (operands + 1));
+  ctx.load_l1(dim * operands);
+  ctx.addr_update(dim * operands);
+  ctx.alu(dim * (operands + 1));
+  ctx.store_l1(dim);
+  // AM: per class, per component: 2 loads, compare, accumulate.
+  ctx.loop_iters(dim * classes);
+  ctx.load_l1(2 * dim * classes);
+  ctx.addr_update(2 * dim * classes);
+  ctx.alu(2 * dim * classes);
+  return ctx.cycles();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: 32-per-word bit packing vs byte-per-component layout\n");
+
+  const hd::HdClassifier model = bench::trained_model(10000);
+  constexpr std::size_t kOperands = 5;  // 4 channels + tie-break
+  constexpr std::size_t kClasses = 5;
+
+  TextTable table("Packed vs unpacked processing chain (single core, 10,000-D)");
+  table.set_header({"Core", "packed cyc(k)", "unpacked cyc(k)", "packing gain",
+                    "packed mem(kB)", "unpacked mem(kB)"});
+
+  struct Case {
+    sim::ClusterConfig cluster;
+    sim::CoreKind kind;
+  };
+  const std::vector<Case> cases = {
+      {sim::ClusterConfig::pulpv3(1), sim::CoreKind::kPulpV3Or1k},
+      {sim::ClusterConfig::wolf(1, false), sim::CoreKind::kWolfRv32},
+      {sim::ClusterConfig::wolf(1, true), sim::CoreKind::kWolfRv32Builtin},
+  };
+
+  const double packed_kb = static_cast<double>(
+                               kernels::ProcessingChain(cases[0].cluster, model).footprint().total()) /
+                           1024.0;
+  for (const Case& c : cases) {
+    const std::uint64_t packed = bench::run_chain(c.cluster, model).total();
+    const std::uint64_t unpacked =
+        unpacked_chain_cycles(sim::isa_costs(c.kind), 10000, kOperands, kClasses);
+    table.add_row({std::string(sim::core_kind_name(c.kind)),
+                   fmt_cycles_k(static_cast<double>(packed)),
+                   fmt_cycles_k(static_cast<double>(unpacked)),
+                   fmt_speedup(static_cast<double>(unpacked) / static_cast<double>(packed)),
+                   fmt_double(packed_kb, 1), fmt_double(packed_kb * 8.0, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape check: packing wins on memory by 8x unconditionally; on cycles the\n"
+            "unpacked layout is competitive only where bit extraction is expensive —\n"
+            "but it could never fit the 48-64 kB L1 (§3's 50 kB budget becomes 400 kB).");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 3: execution cycles versus hypervector dimension for several N-gram
+// sizes, on the 8-core Wolf with built-ins. The paper's claim: "increasing
+// the dimension of the hypervectors, for every N-gram size, corresponds to
+// a linear growth of the execution time".
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pulphd;
+
+  std::puts("Reproducing Fig. 3: cycles vs dimension for N in {1,2,4,6,8,10},"
+            " Wolf 8 cores built-in\n");
+
+  const std::vector<std::size_t> dims = {1000, 2000, 4000, 6000, 8000, 10000};
+  const std::vector<std::size_t> ngrams = {1, 2, 4, 6, 8, 10};
+  const sim::ClusterConfig cluster = sim::ClusterConfig::wolf(8, true);
+
+  TextTable table("Fig. 3 — kilocycles per classification");
+  std::vector<std::string> header{"D \\ N"};
+  for (const std::size_t n : ngrams) header.push_back("N=" + std::to_string(n));
+  table.set_header(header);
+
+  CsvWriter csv("fig3_cycles_vs_dimension.csv", [&] {
+    std::vector<std::string> h{"dimension"};
+    for (const std::size_t n : ngrams) h.push_back("cycles_n" + std::to_string(n));
+    return h;
+  }());
+
+  // Linearity check data: cycles at min/max dimension per N.
+  std::vector<double> first_row, last_row;
+  for (const std::size_t dim : dims) {
+    std::vector<std::string> row{std::to_string(dim)};
+    std::vector<std::string> csv_row{std::to_string(dim)};
+    for (const std::size_t n : ngrams) {
+      const hd::HdClassifier model = bench::trained_model(dim, 4, n);
+      const std::uint64_t cycles = bench::run_chain(cluster, model).total();
+      row.push_back(fmt_cycles_k(static_cast<double>(cycles)));
+      csv_row.push_back(std::to_string(cycles));
+      if (dim == dims.front()) first_row.push_back(static_cast<double>(cycles));
+      if (dim == dims.back()) last_row.push_back(static_cast<double>(cycles));
+    }
+    table.add_row(row);
+    csv.add_row(csv_row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nLinearity (cycles at 10,000-D / cycles at 1,000-D; ideal slope ratio ~10):");
+  for (std::size_t i = 0; i < ngrams.size(); ++i) {
+    std::printf("  N=%-2zu  %.2fx\n", ngrams[i], last_row[i] / first_row[i]);
+  }
+  std::puts("\nSeries written to fig3_cycles_vs_dimension.csv");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the host-side HD library: raw
+// wall-clock throughput of the MAP operations (not part of the paper's
+// tables; a sanity harness for the golden model's performance).
+#include <benchmark/benchmark.h>
+
+#include "hd/encoder.hpp"
+#include "hd/item_memory.hpp"
+#include "hd/ops.hpp"
+
+namespace {
+
+using namespace pulphd;
+using hd::Hypervector;
+
+void BM_Bind(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(1);
+  const Hypervector a = Hypervector::random(dim, rng);
+  const Hypervector b = Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a ^ b);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Bind)->Arg(200)->Arg(2000)->Arg(10000);
+
+void BM_Hamming(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(2);
+  const Hypervector a = Hypervector::random(dim, rng);
+  const Hypervector b = Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hamming(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Hamming)->Arg(200)->Arg(2000)->Arg(10000);
+
+void BM_Majority(benchmark::State& state) {
+  const auto operands = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(3);
+  std::vector<Hypervector> inputs;
+  for (std::size_t i = 0; i < operands; ++i) {
+    inputs.push_back(Hypervector::random(10000, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hd::majority(inputs));
+  }
+}
+BENCHMARK(BM_Majority)->Arg(5)->Arg(9)->Arg(33)->Arg(257);
+
+void BM_Rotate(benchmark::State& state) {
+  Xoshiro256StarStar rng(4);
+  const Hypervector a = Hypervector::random(10000, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.rotated(1));
+  }
+}
+BENCHMARK(BM_Rotate);
+
+void BM_SpatialEncode(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const hd::ItemMemory im(channels, 10000, 5);
+  const hd::ContinuousItemMemory cim(22, 10000, 0.0, 21.0, 6);
+  const hd::SpatialEncoder enc(im, cim, channels);
+  std::vector<float> sample(channels, 9.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(sample));
+  }
+}
+BENCHMARK(BM_SpatialEncode)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_Ngram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(7);
+  std::vector<Hypervector> window;
+  for (std::size_t i = 0; i < n; ++i) window.push_back(Hypervector::random(10000, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hd::ngram(window));
+  }
+}
+BENCHMARK(BM_Ngram)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_BundleAccumulate(benchmark::State& state) {
+  Xoshiro256StarStar rng(8);
+  const Hypervector hv = Hypervector::random(10000, rng);
+  hd::BundleAccumulator acc(10000);
+  for (auto _ : state) {
+    acc.add(hv);
+    benchmark::DoNotOptimize(acc.count());
+  }
+}
+BENCHMARK(BM_BundleAccumulate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

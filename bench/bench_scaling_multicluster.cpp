@@ -1,0 +1,66 @@
+// Future-work projection (§1/§6): "the savings linearly benefit from a
+// large number of cores paving the way for the development of future
+// HD-centric accelerators".
+//
+// Scales the measured single-cluster chain across 1..8 Wolf clusters
+// (8..64 cores) with the inter-cluster cost model of sim/multicluster.hpp,
+// for both the small EMG workload and a large EEG-class one.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "sim/multicluster.hpp"
+
+int main() {
+  using namespace pulphd;
+
+  std::puts("Future-work projection: multi-cluster scaling of the HD chain\n");
+
+  struct Workload {
+    const char* name;
+    std::size_t channels;
+    std::size_t ngram;
+  };
+  const std::vector<Workload> workloads = {
+      {"EMG 4ch N=1", 4, 1},
+      {"EEG 64ch N=10", 64, 10},
+  };
+
+  CsvWriter csv("multicluster_scaling.csv",
+                {"workload", "clusters", "cores", "total_cycles", "speedup"});
+
+  for (const Workload& w : workloads) {
+    const hd::HdClassifier model = bench::trained_model(10000, w.channels, w.ngram);
+    const kernels::ChainBreakdown bd =
+        bench::run_chain(sim::ClusterConfig::wolf(8, true), model);
+
+    TextTable table(std::string("Workload: ") + w.name +
+                    "  (per-cluster baseline: 8-core Wolf built-in)");
+    table.set_header({"clusters", "cores", "MAP+ENC(k)", "AM(k)", "TOTAL(k)", "speed-up",
+                      "efficiency"});
+    const double base_total = static_cast<double>(bd.total());
+    for (const std::uint32_t clusters : {1u, 2u, 4u, 8u}) {
+      sim::MultiClusterConfig mc;
+      mc.cluster = sim::ClusterConfig::wolf(8, true);
+      mc.clusters = clusters;
+      const auto est = mc.scale(bd.map_encode_total(), bd.am_total(), bd.dma_transfer_total);
+      const double speedup = base_total / static_cast<double>(est.total());
+      table.add_row({std::to_string(clusters), std::to_string(mc.total_cores()),
+                     fmt_cycles_k(static_cast<double>(est.map_encode)),
+                     fmt_cycles_k(static_cast<double>(est.am)),
+                     fmt_cycles_k(static_cast<double>(est.total())), fmt_speedup(speedup),
+                     fmt_percent(speedup / clusters)});
+      csv.add_row({w.name, std::to_string(clusters), std::to_string(mc.total_cores()),
+                   std::to_string(est.total()), std::to_string(speedup)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("");
+  }
+  std::puts("Shape check: the large workload keeps scaling efficiently to 64 cores;\n"
+            "the 10 ms EMG workload saturates once inter-cluster synchronization and\n"
+            "shared-L2 streaming dominate — quantifying where an HD-centric many-core\n"
+            "design pays off.");
+  std::puts("Series written to multicluster_scaling.csv");
+  return 0;
+}

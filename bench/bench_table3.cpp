@@ -1,0 +1,66 @@
+// Table 3: per-kernel cycle breakdown of the accelerated HD chain on
+// PULPv3 (1 and 4 cores) and Wolf (1 core, 1 core + built-ins, 8 cores +
+// built-ins); 10,000-D, N = 1. Speed-ups are relative to single-core
+// PULPv3, "ld" is each kernel's share of the total, as in the paper.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pulphd;
+
+  std::puts("Reproducing Table 3: kernel breakdown, 10,000-D, N = 1, built-ins where noted\n");
+
+  const hd::HdClassifier model = bench::trained_model(10000);
+
+  struct Config {
+    const char* name;
+    sim::ClusterConfig cluster;
+    double paper_map_k, paper_am_k, paper_total_k;
+  };
+  const std::vector<Config> configs = {
+      {"PULPv3 1 core", sim::ClusterConfig::pulpv3(1), 492, 41, 533},
+      {"PULPv3 4 cores", sim::ClusterConfig::pulpv3(4), 129, 14, 143},
+      {"Wolf 1 core", sim::ClusterConfig::wolf(1, false), 401, 33, 434},
+      {"Wolf 1 core built-in", sim::ClusterConfig::wolf(1, true), 176, 12, 188},
+      {"Wolf 8 cores built-in", sim::ClusterConfig::wolf(8, true), 25, 4, 29},
+  };
+
+  const kernels::ChainBreakdown base = bench::run_chain(configs[0].cluster, model);
+  const auto base_map = static_cast<double>(base.map_encode_total());
+  const auto base_am = static_cast<double>(base.am_total());
+  const auto base_total = static_cast<double>(base.total());
+
+  TextTable table("Table 3 — cycles (cyc), load share (ld) and speed-up (sp) vs PULPv3 1 core");
+  table.set_header({"Platform", "Kernel", "cyc(k)", "ld(%)", "sp(x)", "paper cyc(k)",
+                    "paper sp(x)", "delta"});
+  for (const Config& cfg : configs) {
+    const kernels::ChainBreakdown bd = bench::run_chain(cfg.cluster, model);
+    const auto map = static_cast<double>(bd.map_encode_total());
+    const auto am = static_cast<double>(bd.am_total());
+    const auto total = static_cast<double>(bd.total());
+    table.add_row({cfg.name, "MAP+ENCODERS", fmt_cycles_k(map),
+                   fmt_double(map / total * 100.0, 2), fmt_speedup(base_map / map),
+                   fmt_double(cfg.paper_map_k, 0),
+                   fmt_speedup(492.0 / cfg.paper_map_k),
+                   bench::delta_pct(map, cfg.paper_map_k * 1000)});
+    table.add_row({"", "AM", fmt_cycles_k(am), fmt_double(am / total * 100.0, 2),
+                   fmt_speedup(base_am / am), fmt_double(cfg.paper_am_k, 0),
+                   fmt_speedup(41.0 / cfg.paper_am_k),
+                   bench::delta_pct(am, cfg.paper_am_k * 1000)});
+    table.add_row({"", "TOTAL", fmt_cycles_k(total), "100.00",
+                   fmt_speedup(base_total / total), fmt_double(cfg.paper_total_k, 0),
+                   fmt_speedup(533.0 / cfg.paper_total_k),
+                   bench::delta_pct(total, cfg.paper_total_k * 1000)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const kernels::ChainBreakdown w8 = bench::run_chain(configs[4].cluster, model);
+  std::printf("\nEnd-to-end 8-core Wolf built-in speed-up vs single-core PULPv3: %.2fx"
+              " (paper: 18.38x)\n",
+              base_total / static_cast<double>(w8.total()));
+  std::puts("Shape checks: MAP+ENCODERS scales near-ideally; the AM kernel saturates\n"
+            "as its small workload meets the constant runtime overhead (§5.1).");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Scaling the accelerator to EEG-class workloads (§5.2).
+//
+// "for more complex tasks such as EEG classification, a larger number of
+// channels and wider temporal window (i.e., larger N-gram size) are
+// required [21]". This example configures a 64-channel, N = 10 (and up to
+// the N = 29 of [21]) chain at 10,000-D, checks that the 8-core Wolf still
+// meets the 10 ms budget, and shows where the memory goes.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hd/classifier.hpp"
+#include "kernels/chain.hpp"
+#include "sim/power.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+hd::HdClassifier make_model(std::size_t channels, std::size_t ngram) {
+  hd::ClassifierConfig cfg;
+  cfg.dim = 10000;
+  cfg.channels = channels;
+  cfg.ngram = ngram;
+  cfg.classes = 2;  // EEG error-related potentials: correct vs error [21]
+  hd::HdClassifier clf(cfg);
+  for (std::size_t label = 0; label < cfg.classes; ++label) {
+    hd::Trial trial;
+    for (std::size_t i = 0; i < ngram; ++i) {
+      hd::Sample s(channels);
+      for (std::size_t c = 0; c < channels; ++c) {
+        s[c] = static_cast<float>((c * (label + 2) + i) % 21);
+      }
+      trial.push_back(std::move(s));
+    }
+    clf.train(trial, label);
+  }
+  return clf;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("EEG-scale workloads: many channels, wide temporal windows (paper 5.2, [21])\n");
+
+  const sim::ClusterConfig wolf = sim::ClusterConfig::wolf(8, true);
+  const double fmax = sim::PowerModel::wolf().max_freq_mhz();
+
+  TextTable table("10,000-D chain on Wolf 8 cores built-in");
+  table.set_header({"channels", "N-gram", "cycles(k)", "latency @ fmax (ms)", "<= 10 ms",
+                    "model (kB)"});
+
+  struct Case {
+    std::size_t channels, ngram;
+  };
+  const std::vector<Case> cases = {
+      {4, 1},    // the EMG baseline
+      {16, 5},   // mid-range biosignal fusion
+      {64, 10},  // Fig. 3/4's largest sweep point
+      {64, 29},  // the EEG N-gram of [21]
+      {256, 10}, // Fig. 5's widest electrode array
+  };
+
+  for (const Case& c : cases) {
+    const hd::HdClassifier model = make_model(c.channels, c.ngram);
+    const kernels::ProcessingChain chain(wolf, model);
+    std::vector<hd::Sample> window;
+    for (std::size_t i = 0; i < c.ngram; ++i) {
+      hd::Sample s(c.channels);
+      for (std::size_t ch = 0; ch < c.channels; ++ch) {
+        s[ch] = static_cast<float>((3 * ch + i) % 21);
+      }
+      window.push_back(std::move(s));
+    }
+    const std::uint64_t cycles = chain.classify(window).cycles.total();
+    const double ms = static_cast<double>(cycles) / (fmax * 1e3);
+    table.add_row({std::to_string(c.channels), std::to_string(c.ngram),
+                   fmt_cycles_k(static_cast<double>(cycles)), fmt_double(ms, 2),
+                   ms <= 10.0 ? "yes" : "NO",
+                   fmt_double(static_cast<double>(chain.footprint().total()) / 1024.0, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nEverything except the model matrices streams through L1 via double\n"
+            "buffering, so the working set stays flat while channels and N grow.\n"
+            "The paper's evaluated envelope (up to 256 channels at N = 1, or N = 10\n"
+            "at moderate channel counts — Figs. 3-5) fits the 10 ms budget; the\n"
+            "extreme corners beyond it (64 ch x N = 29) point at the multi-cluster\n"
+            "scaling the conclusion lists as future work.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The paper's flagship application: EMG hand-gesture recognition on a
+// wearable budget (Fig. 1 / §4).
+//
+// Generates the 5-subject synthetic EMG dataset, trains one HD model per
+// subject on the first 25% of repetitions, reports per-subject accuracy and
+// the confusion matrix, then prices one real-time classification on each
+// platform of the paper.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "emg/protocol.hpp"
+#include "kernels/chain.hpp"
+#include "sim/power.hpp"
+
+int main() {
+  using namespace pulphd;
+
+  std::puts("EMG hand-gesture recognition with HD computing (paper Fig. 1)\n");
+
+  const emg::EmgDataset dataset = emg::generate_dataset(emg::GeneratorConfig{});
+  std::printf("dataset: %zu subjects x %zu gestures x %zu repetitions of %.0f s @ %.0f Hz\n\n",
+              dataset.config.subjects, emg::kGestureCount, dataset.config.repetitions,
+              dataset.config.trial_seconds, dataset.config.sample_rate_hz);
+
+  // --- accuracy, per the paper's protocol --------------------------------
+  const emg::AccuracyResult result = emg::evaluate_hd(dataset, 10000);
+  TextTable acc("Per-subject accuracy (train: first 25% of repetitions, test: all)");
+  acc.set_header({"subject", "accuracy"});
+  for (const auto& s : result.subjects) {
+    acc.add_row({std::to_string(s.subject), fmt_percent(s.accuracy)});
+  }
+  acc.add_row({"mean", fmt_percent(result.mean_accuracy)});
+  std::fputs(acc.render().c_str(), stdout);
+  std::printf("(paper: 92.4%% mean across five subjects)\n\n");
+
+  std::vector<std::string> names;
+  for (std::size_t g = 0; g < emg::kGestureCount; ++g) names.push_back(emg::gesture_name(g));
+  std::fputs(result.subjects.front().confusion.to_string(names).c_str(), stdout);
+
+  // --- one real-time classification on each platform ---------------------
+  const hd::HdClassifier model = emg::train_hd_subject(dataset, 0, 10000);
+  const std::vector<hd::Sample> window{dataset.trials.front().envelope[750]};
+
+  std::puts("");
+  TextTable cost("One 10,000-D classification (N = 1) per platform");
+  cost.set_header({"platform", "cycles(k)", "MHz @ 10 ms", "power (mW)"});
+  struct Row {
+    sim::ClusterConfig cluster;
+    sim::PowerModel power;
+    double voltage;
+    std::uint32_t cores;
+    bool dma;
+  };
+  const std::vector<Row> rows = {
+      {sim::ClusterConfig::arm_cortex_m4(), sim::PowerModel::arm_cortex_m4(), 1.85, 1, false},
+      {sim::ClusterConfig::pulpv3(1), sim::PowerModel::pulpv3(), 0.7, 1, true},
+      {sim::ClusterConfig::pulpv3(4), sim::PowerModel::pulpv3(), 0.5, 4, true},
+      {sim::ClusterConfig::wolf(8, true), sim::PowerModel::wolf(), 0.7, 8, true},
+  };
+  for (const Row& row : rows) {
+    kernels::ChainConfig cc;
+    cc.model_dma = row.dma;
+    const kernels::ProcessingChain chain(row.cluster, model, cc);
+    const std::uint64_t cycles = chain.classify(window).cycles.total();
+    const double freq = sim::PowerModel::required_freq_mhz(cycles, 10.0);
+    const double mw =
+        row.power.power(row.cores, {.voltage = row.voltage, .freq_mhz = freq}).total_mw();
+    cost.add_row({row.cluster.name, fmt_cycles_k(static_cast<double>(cycles)),
+                  fmt_double(freq, 1), fmt_mw(mw)});
+  }
+  std::fputs(cost.render().c_str(), stdout);
+  std::puts("\nThe 4-core near-threshold PULPv3 runs the wearable workload at ~2 mW —"
+            "\nan order of magnitude below the Cortex-M4 (Table 2).");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// HD computing beyond biosignals: the classic letter-N-gram language
+// identifier ([11, 12] in the paper; Joshi/Rahimi-style text encoding).
+// Demonstrates that the same library primitives — item memory, permutation
+// N-grams, bundling, associative memory — implement a completely different
+// application with a few dozen lines.
+//
+// Languages are synthesized as character-level Markov sources with
+// distinct digram statistics (no external corpora needed offline).
+#include <cstdio>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hd/associative_memory.hpp"
+#include "hd/item_memory.hpp"
+#include "hd/ops.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+constexpr std::size_t kAlphabet = 27;  // a-z + space
+constexpr std::size_t kDim = 10000;
+constexpr std::size_t kNgram = 3;
+
+/// A synthetic "language": a first-order Markov chain over the alphabet
+/// whose transition preferences are drawn from a language-specific seed.
+class MarkovLanguage {
+ public:
+  explicit MarkovLanguage(std::uint64_t seed) : rng_(seed) {
+    Xoshiro256StarStar structure(derive_seed(seed, "structure"));
+    for (auto& row : preferred_) {
+      for (auto& p : row) p = structure.next_below(kAlphabet);
+    }
+  }
+
+  std::string sample(std::size_t length) {
+    std::string out;
+    out.reserve(length);
+    std::size_t state = rng_.next_below(kAlphabet);
+    for (std::size_t i = 0; i < length; ++i) {
+      // 70%: follow one of the language's preferred digrams; 30%: random.
+      if (rng_.next_bernoulli(0.7)) {
+        state = preferred_[state][rng_.next_below(kPreferred)];
+      } else {
+        state = rng_.next_below(kAlphabet);
+      }
+      out.push_back(state == 26 ? ' ' : static_cast<char>('a' + state));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kPreferred = 4;
+  std::array<std::array<std::size_t, kPreferred>, kAlphabet> preferred_{};
+  Xoshiro256StarStar rng_;
+};
+
+std::size_t letter_index(char c) { return c == ' ' ? 26u : static_cast<std::size_t>(c - 'a'); }
+
+/// Text encoding: bundle the rho-shifted N-grams of the letter hypervectors,
+/// exactly the temporal encoder of the paper applied to characters.
+hd::Hypervector encode_text(const std::string& text, const hd::ItemMemory& letters) {
+  hd::BundleAccumulator acc(kDim);
+  std::vector<hd::Hypervector> window;
+  for (const char c : text) {
+    window.push_back(letters.at(letter_index(c)));
+    if (window.size() < kNgram) continue;
+    acc.add(hd::ngram(std::span<const hd::Hypervector>(window).last(kNgram)));
+    window.erase(window.begin());
+  }
+  return acc.finalize_seeded(7);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Language identification with letter N-grams (HD computing's classic demo)\n");
+
+  const std::vector<std::string> names = {"alphan", "betic", "gammese", "deltic", "epsilonian"};
+  const hd::ItemMemory letters(kAlphabet, kDim, 0x1e77e125);
+  hd::AssociativeMemory am(names.size(), kDim, 0xa331);
+
+  // Train: one 2,000-character document per language.
+  std::vector<MarkovLanguage> languages;
+  for (std::size_t l = 0; l < names.size(); ++l) {
+    languages.emplace_back(derive_seed(0x1a46, names[l]));
+    am.train(l, encode_text(languages.back().sample(2000), letters));
+  }
+
+  // Test: 40 short 200-character snippets per language.
+  TextTable table("Per-language identification accuracy (200-char snippets)");
+  table.set_header({"language", "accuracy", "mean margin"});
+  double total_correct = 0;
+  for (std::size_t l = 0; l < names.size(); ++l) {
+    std::size_t correct = 0;
+    double margin = 0;
+    constexpr int kSnippets = 40;
+    for (int i = 0; i < kSnippets; ++i) {
+      const hd::AmDecision d = am.classify(encode_text(languages[l].sample(200), letters));
+      correct += d.label == l;
+      margin += d.margin(kDim);
+    }
+    total_correct += static_cast<double>(correct);
+    table.add_row({names[l], fmt_percent(static_cast<double>(correct) / kSnippets),
+                   fmt_double(margin / kSnippets, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\noverall: %s on %d snippets — the same IM/ngram/AM primitives that\n"
+              "classify EMG gestures, no application-specific code in the library.\n",
+              fmt_percent(total_correct / (40.0 * static_cast<double>(names.size()))).c_str(),
+              40 * static_cast<int>(names.size()));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Multimodal sensor fusion with record encoding — the application family
+// the paper's introduction cites: "categorization of body physical
+// activities from several heterogeneous sensors" [23].
+//
+// Three heterogeneous modalities (EMG envelope, accelerometer magnitude,
+// gyroscope rate) are each quantized by their own continuous item memory,
+// fused into one record hypervector per time step with role-filler
+// binding, bundled over a window, and classified by an associative memory.
+// Everything reuses the library primitives — no fusion-specific code.
+#include <cstdio>
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hd/associative_memory.hpp"
+#include "hd/record_encoder.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+constexpr std::size_t kDim = 10000;
+constexpr std::size_t kActivities = 4;  // rest, walk, run, climb
+constexpr std::size_t kModalities = 3;
+
+const char* activity_name(std::size_t a) {
+  constexpr std::array names{"rest", "walk", "run", "climb"};
+  return names[a];
+}
+
+/// Per-activity mean levels of (EMG mV, accel g, gyro dps).
+constexpr double kMeans[kActivities][kModalities] = {
+    {1.0, 0.05, 5.0},    // rest
+    {5.0, 0.35, 60.0},   // walk
+    {12.0, 0.90, 150.0}, // run
+    {15.0, 0.55, 90.0},  // climb: strong EMG, moderate motion
+};
+
+struct Sensors {
+  hd::ContinuousItemMemory emg{22, kDim, 0.0, 21.0, 11};
+  hd::ContinuousItemMemory accel{16, kDim, 0.0, 1.5, 12};
+  hd::ContinuousItemMemory gyro{16, kDim, 0.0, 200.0, 13};
+  hd::RecordEncoder record{kModalities, kDim, 14};
+
+  hd::Hypervector encode_step(double emg_mv, double accel_g, double gyro_dps) const {
+    const std::vector<hd::Hypervector> fillers{emg.encode(emg_mv), accel.encode(accel_g),
+                                               gyro.encode(gyro_dps)};
+    return record.encode(fillers);
+  }
+};
+
+/// A window of noisy sensor readings for one activity, bundled to a query.
+hd::Hypervector encode_window(const Sensors& sensors, std::size_t activity,
+                              Xoshiro256StarStar& rng, std::size_t steps = 20) {
+  hd::BundleAccumulator acc(kDim);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double emg = kMeans[activity][0] * (1.0 + 0.30 * rng.next_gaussian());
+    const double accel = kMeans[activity][1] * (1.0 + 0.35 * rng.next_gaussian());
+    const double gyro = kMeans[activity][2] * (1.0 + 0.35 * rng.next_gaussian());
+    acc.add(sensors.encode_step(emg, accel, gyro));
+  }
+  return acc.finalize_seeded(activity + 99);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Multimodal activity recognition via record encoding ([23]-style fusion)\n");
+
+  const Sensors sensors;
+  hd::AssociativeMemory am(kActivities, kDim, 0xfade);
+  Xoshiro256StarStar train_rng(1);
+  for (std::size_t a = 0; a < kActivities; ++a) {
+    for (int rep = 0; rep < 6; ++rep) am.train(a, encode_window(sensors, a, train_rng));
+  }
+
+  Xoshiro256StarStar test_rng(2);
+  TextTable table("Per-activity accuracy over 50 test windows each");
+  table.set_header({"activity", "accuracy", "mean margin"});
+  for (std::size_t a = 0; a < kActivities; ++a) {
+    std::size_t correct = 0;
+    double margin = 0.0;
+    constexpr int kWindows = 50;
+    for (int i = 0; i < kWindows; ++i) {
+      const hd::AmDecision d = am.classify(encode_window(sensors, a, test_rng));
+      correct += d.label == a;
+      margin += d.margin(kDim);
+    }
+    table.add_row({activity_name(a),
+                   fmt_percent(static_cast<double>(correct) / kWindows),
+                   fmt_double(margin / kWindows, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Demonstrate the record structure: recover one modality from a fused step.
+  const hd::Hypervector step = sensors.encode_step(12.0, 0.9, 150.0);  // "run"
+  const auto decoded = sensors.record.decode(step, 0, sensors.emg.items());
+  std::printf("\nprobing the EMG role of a fused step recovers level %zu of 22"
+              " (true level %zu, distance %.3f)\n",
+              decoded.index, sensors.emg.quantize(12.0), decoded.distance);
+  std::puts("role-filler binding keeps each modality retrievable inside one vector —\n"
+            "the \"associations\" capability HD computing adds over plain classifiers.");
+  return 0;
+}

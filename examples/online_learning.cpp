@@ -1,0 +1,74 @@
+// On-line learning (§3): "the AM matrix can be continuously updated for
+// on-line learning".
+//
+// Simulates a deployment where the electrode response drifts after the
+// initial calibration: accuracy with the frozen model degrades on drifted
+// data; streaming a handful of labeled trials into the associative memory
+// (one BundleAccumulator update per trial — no retraining of IM/CIM)
+// recovers it.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "emg/protocol.hpp"
+
+int main() {
+  using namespace pulphd;
+
+  std::puts("On-line learning: refreshing the AM after electrode drift (paper 3)\n");
+
+  // Session A: calibration conditions. Session B: the same subject after
+  // re-donning the armband rotated by one electrode position, so every
+  // channel now records a neighboring muscle — the classic wearable-EMG
+  // failure mode. The signals are modeled by rotating the channel order.
+  emg::GeneratorConfig session_a;
+  session_a.subjects = 1;
+  session_a.session_drift = 0.0;
+  emg::GeneratorConfig session_b = session_a;
+  session_b.seed = derive_seed(session_a.seed, "re-donned-session");
+
+  const emg::EmgDataset calibration = emg::generate_dataset(session_a);
+  emg::EmgDataset later = emg::generate_dataset(session_b);
+  for (emg::EmgTrial& trial : later.trials) {
+    for (hd::Sample& s : trial.envelope) {
+      std::rotate(s.begin(), s.begin() + 1, s.end());  // armband rotation
+    }
+  }
+  const emg::ProtocolConfig protocol;
+
+  hd::HdClassifier clf = emg::train_hd_subject(calibration, 0, 10000, protocol);
+
+  const auto accuracy_on = [&](const emg::EmgDataset& ds) {
+    const auto trials = ds.subject_trials(0);
+    std::size_t correct = 0;
+    for (const emg::EmgTrial* t : trials) {
+      correct += clf.predict(emg::active_segment(t->envelope, protocol)).label == t->label;
+    }
+    return static_cast<double>(correct) / static_cast<double>(trials.size());
+  };
+
+  TextTable table("Accuracy of one subject's model across armband placements");
+  table.set_header({"stage", "calibration placement", "rotated armband"});
+  table.add_row({"frozen model", fmt_percent(accuracy_on(calibration)),
+                 fmt_percent(accuracy_on(later))});
+
+  // Stream the new session's first four repetitions of each gesture into
+  // the AM — the amount of data a user provides in a quick refresh.
+  std::size_t streamed = 0;
+  for (const emg::EmgTrial& t : later.trials) {
+    if (t.repetition >= 4) continue;
+    const hd::Trial segment = emg::active_segment(t.envelope, protocol);
+    clf.train(segment, t.label);  // accumulates into the class prototype
+    ++streamed;
+  }
+  table.add_row({"after streaming " + std::to_string(streamed) + " trials",
+                 fmt_percent(accuracy_on(calibration)), fmt_percent(accuracy_on(later))});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nThe update is just majority-bundling new encoded trials into the\n"
+            "existing prototypes: no gradient steps and no IM/CIM changes. The\n"
+            "prototypes shift toward the new placement while old-placement accuracy\n"
+            "decays only gracefully — holographic bundling, not catastrophic\n"
+            "forgetting.");
+  return 0;
+}

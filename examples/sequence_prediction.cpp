@@ -1,0 +1,105 @@
+// Sequence prediction with permutation N-grams — the paper's cited
+// mobile-usage predictor ([24]: "predicting behavior of mobile-device
+// users (e.g., media player prediction)").
+//
+// A user's app-launch stream is modeled as a 2nd-order Markov process.
+// Each observed (a, b, next) transition is stored by bundling
+// rho^2(A) ^ rho^1(B) into the prototype of `next`; prediction encodes the
+// current context the same way and asks the AM which app comes next.
+#include <cstdio>
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hd/associative_memory.hpp"
+#include "hd/item_memory.hpp"
+#include "hd/ops.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+constexpr std::size_t kApps = 8;
+constexpr std::size_t kDim = 10000;
+
+const char* app_name(std::size_t a) {
+  constexpr std::array names{"mail", "browser", "music", "maps",
+                             "camera", "chat", "news", "podcast"};
+  return names[a];
+}
+
+/// Synthetic usage habits: for every context pair, one favored next app
+/// (deterministic habit) chosen pseudo-randomly, followed 75% of the time.
+struct UsageModel {
+  explicit UsageModel(std::uint64_t seed) : rng(seed) {
+    Xoshiro256StarStar habit_rng(derive_seed(seed, "habits"));
+    for (auto& row : habit) {
+      for (auto& h : row) h = habit_rng.next_below(kApps);
+    }
+  }
+  std::size_t next(std::size_t a, std::size_t b) {
+    return rng.next_bernoulli(0.75) ? habit[a][b] : rng.next_below(kApps);
+  }
+  std::array<std::array<std::size_t, kApps>, kApps> habit{};
+  Xoshiro256StarStar rng;
+};
+
+hd::Hypervector context_vector(const hd::ItemMemory& apps, std::size_t a, std::size_t b) {
+  // rho^2(A) ^ rho^1(B): the position-coded context of the N-gram encoder.
+  return apps.at(a).rotated(2) ^ apps.at(b).rotated(1);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Next-app prediction from usage sequences ([24]-style, N-gram contexts)\n");
+
+  const hd::ItemMemory apps(kApps, kDim, 0x5e90);
+  UsageModel user(0x05a6e);
+
+  // Train: observe a stream of 3,000 launches.
+  hd::AssociativeMemory am(kApps, kDim, 0x7ea);
+  std::size_t a = 0;
+  std::size_t b = 1;
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t next = user.next(a, b);
+    am.train(next, context_vector(apps, a, b));
+    a = b;
+    b = next;
+  }
+
+  // Test: 2,000 fresh launches from the same habits.
+  std::size_t correct = 0;
+  std::size_t habitual = 0;
+  std::array<std::size_t, kApps> per_app_ok{};
+  std::array<std::size_t, kApps> per_app_n{};
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t truth = user.next(a, b);
+    const std::size_t predicted = am.classify(context_vector(apps, a, b)).label;
+    correct += predicted == truth;
+    habitual += truth == user.habit[a][b];
+    ++per_app_n[truth];
+    per_app_ok[truth] += predicted == truth;
+    a = b;
+    b = truth;
+  }
+
+  TextTable table("Per-app prediction recall (2,000 launches)");
+  table.set_header({"next app", "recall", "occurrences"});
+  for (std::size_t app = 0; app < kApps; ++app) {
+    table.add_row({app_name(app),
+                   fmt_percent(per_app_n[app] ? static_cast<double>(per_app_ok[app]) /
+                                                    static_cast<double>(per_app_n[app])
+                                              : 0.0),
+                   std::to_string(per_app_n[app])});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\noverall top-1 accuracy: %s (oracle habit ceiling: %s)\n",
+              fmt_percent(correct / 2000.0).c_str(),
+              fmt_percent(habitual / 2000.0).c_str());
+  std::puts("the AM approaches the habit ceiling — the theoretical best any\n"
+            "predictor can do on a 75%-habitual stream — using the same rotation\n"
+            "N-gram machinery as the biosignal chain.");
+  return 0;
+}

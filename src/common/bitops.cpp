@@ -1,0 +1,15 @@
+#include "common/bitops.hpp"
+
+// All bitops are constexpr in the header; this TU exists so the component
+// has a home for future non-inline helpers and to give the static archive a
+// symbol anchor.
+namespace pulphd {
+namespace {
+[[maybe_unused]] constexpr int kAnchor = popcount_swar(0xffffffffu);
+static_assert(kAnchor == 32);
+static_assert(words_for_dim(10000) == 313, "paper: 10,000-D packs into 313 words");
+static_assert(words_for_dim(200) == 7, "paper: 200-D packs into 7 words");
+static_assert(insert_bit(0u, 5, 1) == 32u);
+static_assert(extract_bit(0x20u, 5) == 1u);
+}  // namespace
+}  // namespace pulphd

@@ -1,0 +1,74 @@
+// Portable bit-level primitives used across the HD library and the
+// simulated kernels.
+//
+// The simulated PULP kernels must produce bit-identical results to the
+// golden library, so both sides share exactly these definitions. The SWAR
+// popcount mirrors the instruction sequence the cycle model charges on
+// cores without a hardware popcount.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace pulphd {
+
+/// Word type holding 32 packed binary hypervector components, matching the
+/// paper's mapping of "32 consecutive binary components ... to an unsigned
+/// integer variable with 32 bits".
+using Word = std::uint32_t;
+
+inline constexpr unsigned kWordBits = 32;
+
+/// Number of 32-bit words needed to store `dim` binary components
+/// (e.g. 313 words for the paper's 10,000-D hypervectors).
+constexpr std::size_t words_for_dim(std::size_t dim) noexcept {
+  return (dim + kWordBits - 1) / kWordBits;
+}
+
+/// Hardware-assisted popcount (what `p.cnt` computes in one cycle on Wolf).
+constexpr int popcount(Word w) noexcept { return std::popcount(w); }
+
+/// SWAR (SIMD-within-a-register) popcount — the exact operation sequence a
+/// core *without* a popcount instruction executes; kept for bit-exactness
+/// tests against the cycle model's per-instruction accounting.
+constexpr int popcount_swar(Word w) noexcept {
+  w = w - ((w >> 1) & 0x55555555u);
+  w = (w & 0x33333333u) + ((w >> 2) & 0x33333333u);
+  w = (w + (w >> 4)) & 0x0f0f0f0fu;
+  return static_cast<int>((w * 0x01010101u) >> 24);
+}
+
+/// Extracts the single bit at position `bit` (0 = LSB) of `w`; models the
+/// Wolf `p.extractu` built-in restricted to 1-bit fields.
+constexpr Word extract_bit(Word w, unsigned bit) noexcept { return (w >> bit) & 1u; }
+
+/// Returns `w` with the bit at position `bit` set to the LSB of `value`;
+/// models the Wolf `p.insert` built-in restricted to 1-bit fields.
+constexpr Word insert_bit(Word w, unsigned bit, Word value) noexcept {
+  const Word mask = Word{1} << bit;
+  return (w & ~mask) | ((value & 1u) << bit);
+}
+
+/// Extracts an unsigned bit-field of `len` bits starting at `pos`
+/// (general form of `p.extractu`). len must be in [1, 32].
+constexpr Word extract_field(Word w, unsigned pos, unsigned len) noexcept {
+  if (len >= kWordBits) return w >> pos;
+  return (w >> pos) & ((Word{1} << len) - 1u);
+}
+
+/// Inserts the low `len` bits of `value` into `w` at position `pos`
+/// (general form of `p.insert`).
+constexpr Word insert_field(Word w, unsigned pos, unsigned len, Word value) noexcept {
+  const Word mask = (len >= kWordBits ? ~Word{0} : ((Word{1} << len) - 1u)) << pos;
+  return (w & ~mask) | ((value << pos) & mask);
+}
+
+/// Mask selecting the `n` low bits of a word; n in [0, 32].
+constexpr Word low_bits_mask(unsigned n) noexcept {
+  return n >= kWordBits ? ~Word{0} : ((Word{1} << n) - 1u);
+}
+
+/// Parity (XOR-reduction) of a word.
+constexpr Word parity(Word w) noexcept { return static_cast<Word>(std::popcount(w) & 1); }
+
+}  // namespace pulphd

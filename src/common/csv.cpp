@@ -1,0 +1,39 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+namespace pulphd {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << csv_escape(header[i]);
+    if (i + 1 < header.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) throw std::runtime_error("CsvWriter: column count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << csv_escape(cells[i]);
+    if (i + 1 < cells.size()) out_ << ',';
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace pulphd

@@ -1,0 +1,32 @@
+// CSV emission for benchmark series (figure reproductions).
+//
+// Each figure bench prints its series to stdout as a table and can also
+// drop a CSV next to the binary so the curves can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pulphd {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell per RFC 4180 (quotes cells containing comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace pulphd

@@ -1,0 +1,10 @@
+#include "common/fixed_point.hpp"
+
+namespace pulphd {
+namespace {
+static_assert(Q15::from_double(1.0).raw() == 32767, "Q15 saturates at +1");
+static_assert(Q15::from_double(-1.0).raw() == -32768);
+static_assert(Q15::from_double(0.5).raw() == 16384);
+static_assert((Q15::from_double(0.5) * Q15::from_double(0.5)).raw() == 8192);
+}  // namespace
+}  // namespace pulphd

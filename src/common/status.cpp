@@ -1,0 +1,13 @@
+#include "common/status.hpp"
+
+namespace pulphd {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+void check_invariant(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace pulphd

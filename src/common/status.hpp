@@ -1,0 +1,25 @@
+// Lightweight precondition checking.
+//
+// Library code validates caller-supplied configuration eagerly and throws
+// std::invalid_argument / std::logic_error with a precise message instead of
+// corrupting state; PULPHD_CHECK is used for conditions that indicate a bug
+// in calling code rather than recoverable input errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pulphd {
+
+/// Throws std::invalid_argument when `condition` is false.
+void require(bool condition, const std::string& message);
+
+/// Throws std::logic_error when `condition` is false (internal invariant).
+void check_invariant(bool condition, const std::string& message);
+
+}  // namespace pulphd
+
+#define PULPHD_CHECK(cond)                                                     \
+  ::pulphd::check_invariant((cond), std::string("invariant violated: " #cond \
+                                                " at ") +                     \
+                                        __FILE__ + ":" + std::to_string(__LINE__))

@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pulphd {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) out << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+namespace {
+std::string printf_format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string fmt_double(double v, int precision) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", precision);
+  return printf_format(fmt, v);
+}
+
+std::string fmt_cycles_k(double cycles) { return printf_format("%.2f", cycles / 1000.0); }
+
+std::string fmt_speedup(double x) { return printf_format("%.2f", x) + "x"; }
+
+std::string fmt_percent(double fraction01) { return printf_format("%.2f", fraction01 * 100.0) + "%"; }
+
+std::string fmt_mw(double milliwatts) { return printf_format("%.2f", milliwatts); }
+
+std::string fmt_kib(double bytes) { return printf_format("%.1f", bytes / 1024.0) + " kB"; }
+
+}  // namespace pulphd

@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// this helper keeps their output aligned and uniform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pulphd {
+
+/// Column-aligned ASCII table with a title, header row and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with 2-space column gutters and a rule under the header.
+  std::string render() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_double(double v, int precision);
+std::string fmt_cycles_k(double cycles);        // "533.0" (kilocycles)
+std::string fmt_speedup(double x);              // "3.73x"
+std::string fmt_percent(double fraction01);     // 0.923 -> "92.30%"
+std::string fmt_mw(double milliwatts);          // "4.22"
+std::string fmt_kib(double bytes);              // bytes -> "27.4 kB"
+
+}  // namespace pulphd

@@ -1,0 +1,318 @@
+#include "emg/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "emg/filters.hpp"
+
+namespace pulphd::emg {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr float kAdcFullScaleMv = 40.0f;  // +-40 mV front-end range
+
+/// Distinct per-gesture activation levels of the four canonical forearm
+/// channels (flexor/extensor groups). Extra channels interpolate these with
+/// class-seeded pseudo-random weights.
+constexpr double kCanonicalPatterns[kGestureCount][4] = {
+    {0.05, 0.05, 0.05, 0.05},  // rest
+    {0.95, 0.70, 0.45, 0.60},  // closed hand: strong global flexion
+    {0.35, 0.95, 0.75, 0.30},  // open hand: extensor dominated
+    {0.60, 0.30, 0.90, 0.50},  // 2-finger pinch
+    {0.30, 0.50, 0.40, 0.95},  // point index
+};
+
+// Relative phase of the slow synergy modulation per channel: finger
+// gestures recruit the flexor compartments with different inter-muscle
+// coordination even when their mean activation is similar. The pinch/point
+// pair is mean-similar but phase-distinct: a window-mean feature cannot
+// separate what the per-sample spatial patterns can.
+constexpr double kSynergyPhase[kGestureCount][4] = {
+    {0.0, 0.0, 0.0, 0.0},          // rest (no modulation anyway)
+    {0.0, 0.0, 0.0, 0.0},          // closed hand: synchronized
+    {0.0, kPi / 2, kPi, 3 * kPi / 2},  // open hand: rotating recruitment
+    {0.0, kPi, 0.0, kPi},          // pinch: alternating pairs
+    {0.0, 0.0, kPi, kPi},          // point: split halves
+};
+
+double synergy_phase(std::size_t label, std::size_t channel) {
+  return kSynergyPhase[label][channel % 4] +
+         static_cast<double>(channel / 4) * (kPi / 3.0);
+}
+
+double base_activation(std::size_t label, std::size_t channel, std::size_t channels,
+                       pulphd::Xoshiro256StarStar& class_rng) {
+  if (channel < 4) return kCanonicalPatterns[label][channel];
+  // Higher-density electrode arrays (Fig. 5's 8..256 channels): each extra
+  // electrode mixes two canonical sites plus a class-specific random
+  // component, keeping patterns distinct across classes.
+  (void)channels;
+  const double a = kCanonicalPatterns[label][channel % 4];
+  const double b = kCanonicalPatterns[label][(channel + 1) % 4];
+  const double mix = class_rng.next_double();
+  double v = 0.5 * (a + b) + 0.35 * (mix - 0.5);
+  if (label == static_cast<std::size_t>(Gesture::kRest)) v = 0.05;
+  return std::clamp(v, 0.02, 1.0);
+}
+
+/// Trapezoid activation profile of one gesture trial: rest, ramp-up, hold,
+/// ramp-down, rest.
+double activation_profile(double t_seconds, double onset, double ramp, double release,
+                          double trial_seconds) {
+  if (t_seconds < onset) return 0.0;
+  if (t_seconds < onset + ramp) return (t_seconds - onset) / ramp;
+  const double fall_start = trial_seconds - release;
+  if (t_seconds < fall_start) return 1.0;
+  const double fall = (trial_seconds - t_seconds) / release;
+  return std::max(0.0, fall);
+}
+
+}  // namespace
+
+std::string gesture_name(std::size_t label) {
+  switch (static_cast<Gesture>(label)) {
+    case Gesture::kRest: return "rest";
+    case Gesture::kClosedHand: return "closed hand";
+    case Gesture::kOpenHand: return "open hand";
+    case Gesture::kTwoFingerPinch: return "2-finger pinch";
+    case Gesture::kPointIndex: return "point index";
+  }
+  return "gesture" + std::to_string(label);
+}
+
+void GeneratorConfig::validate() const {
+  require(subjects >= 1, "GeneratorConfig: subjects must be >= 1");
+  require(repetitions >= 2, "GeneratorConfig: repetitions must be >= 2");
+  require(channels >= 1, "GeneratorConfig: channels must be >= 1");
+  require(sample_rate_hz > 0, "GeneratorConfig: sample rate must be positive");
+  require(trial_seconds > 0.5, "GeneratorConfig: trials must exceed 0.5 s");
+  require(max_amplitude_mv > 0, "GeneratorConfig: max amplitude must be positive");
+  require(pattern_overlap >= 0.0 && pattern_overlap < 1.0,
+          "GeneratorConfig: pattern_overlap must be in [0, 1)");
+}
+
+std::vector<const EmgTrial*> EmgDataset::subject_trials(std::size_t subject) const {
+  std::vector<const EmgTrial*> out;
+  for (const EmgTrial& t : trials) {
+    if (t.subject == subject) out.push_back(&t);
+  }
+  return out;
+}
+
+EmgDataset::Split EmgDataset::split(std::size_t subject, double train_fraction) const {
+  require(train_fraction > 0.0 && train_fraction <= 1.0,
+          "EmgDataset::split: train_fraction must be in (0, 1]");
+  Split s;
+  const std::size_t train_reps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(train_fraction *
+                                              static_cast<double>(config.repetitions))));
+  for (const EmgTrial& t : trials) {
+    if (t.subject != subject) continue;
+    s.test.push_back(&t);  // "the entire dataset is used for testing" (§4.1)
+    if (t.repetition < train_reps) s.train.push_back(&t);
+  }
+  return s;
+}
+
+float adc_16bit_roundtrip(float value_mv, float full_scale_mv) noexcept {
+  const float clamped = std::clamp(value_mv, -full_scale_mv, full_scale_mv);
+  const float lsb = (2.0f * full_scale_mv) / 65535.0f;
+  // Codes saturate at +-32767 so the reconstruction never exceeds the rails.
+  const float code = std::clamp(std::round(clamped / lsb), -32767.0f, 32767.0f);
+  return code * lsb;
+}
+
+EmgDataset generate_dataset(const GeneratorConfig& config) {
+  config.validate();
+  EmgDataset ds;
+  ds.config = config;
+
+  const std::size_t samples = config.samples_per_trial();
+  const double dt = 1.0 / config.sample_rate_hz;
+
+  // Class patterns (shared across subjects, per the physiology).
+  std::vector<std::vector<double>> patterns(kGestureCount,
+                                            std::vector<double>(config.channels));
+  for (std::size_t g = 0; g < kGestureCount; ++g) {
+    pulphd::Xoshiro256StarStar class_rng(
+        pulphd::derive_seed(config.seed, "class-pattern-" + std::to_string(g)));
+    for (std::size_t c = 0; c < config.channels; ++c) {
+      patterns[g][c] = base_activation(g, c, config.channels, class_rng);
+    }
+  }
+  // The shared co-contraction component that blurs class separation.
+  std::vector<double> common(config.channels);
+  {
+    pulphd::Xoshiro256StarStar common_rng(pulphd::derive_seed(config.seed, "common-pattern"));
+    for (auto& v : common) v = 0.4 + 0.3 * common_rng.next_double();
+  }
+
+  Biquad notch = Biquad::notch(config.sample_rate_hz, 50.0, 30.0);
+  EnvelopeExtractor envelope(config.sample_rate_hz, 4.0);
+
+  for (std::size_t subject = 0; subject < config.subjects; ++subject) {
+    pulphd::Xoshiro256StarStar subj_rng(
+        pulphd::derive_seed(config.seed, "subject-" + std::to_string(subject)));
+    std::vector<double> gain(config.channels);
+    for (auto& g : gain) {
+      g = 1.0 + config.subject_gain_spread * (2.0 * subj_rng.next_double() - 1.0);
+    }
+    const double subject_noise_scale = 0.85 + 0.3 * subj_rng.next_double();
+    // Per-channel drift direction of this subject's session (electrode
+    // contact slowly improving or degrading).
+    std::vector<double> drift_dir(config.channels);
+    for (auto& d : drift_dir) {
+      d = (subj_rng.next_bernoulli(0.5) ? 1.0 : -1.0) * subj_rng.next_uniform(0.5, 1.0);
+    }
+
+    for (std::size_t label = 0; label < kGestureCount; ++label) {
+      for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        EmgTrial trial;
+        trial.subject = subject;
+        trial.label = label;
+        trial.repetition = rep;
+        trial.raw.assign(config.channels, std::vector<float>(samples));
+
+        const bool is_rest = label == static_cast<std::size_t>(Gesture::kRest);
+        double strength = std::max(
+            0.35, 1.0 + config.trial_jitter * subj_rng.next_gaussian());
+        const double onset = is_rest ? 0.0 : 0.1 + 0.3 * subj_rng.next_double();
+        const double ramp = 0.15 + 0.15 * subj_rng.next_double();
+        const double release = 0.2 + 0.3 * subj_rng.next_double();
+        const double hum_phase = 2.0 * kPi * subj_rng.next_double();
+
+        // A fraction of gesture executions are poor: partway through the
+        // hold, the grip slips and the spatial pattern drifts toward some
+        // other gesture for the remainder of the trial. Decision rules that
+        // hard-threshold each short window follow the slipped majority of
+        // windows; bundling the whole gesture into one query integrates the
+        // partial evidence for the true gesture across all samples — the
+        // robustness property of HD bundling §4.1 leans on. The slip
+        // parameters are drawn fresh per trial, so poor executions do not
+        // form a repeatable cluster a classifier could memorize from the
+        // training split.
+        const bool hard_trial =
+            !is_rest && subj_rng.next_bernoulli(config.hard_trial_fraction);
+        trial.hard = hard_trial;
+        std::size_t confuser = label;
+        double slip_start_s = config.trial_seconds;  // never reached
+        double slip_blend = 0.0;
+        constexpr double kSlipTransitionS = 0.15;
+        if (hard_trial) {
+          strength *= subj_rng.next_uniform(0.85, 1.0);
+          confuser = 1 + subj_rng.next_below(kGestureCount - 1);
+          if (confuser == label) confuser = 1 + (label % (kGestureCount - 1));
+          slip_start_s = config.trial_seconds * subj_rng.next_uniform(0.30, 0.50);
+          slip_blend = subj_rng.next_uniform(0.50, 0.62);
+        }
+        std::vector<double> trial_channel_gain(config.channels);
+        const double session_pos =
+            config.repetitions > 1
+                ? static_cast<double>(rep) / static_cast<double>(config.repetitions - 1)
+                : 0.0;
+        for (std::size_t c = 0; c < config.channels; ++c) {
+          const double jitter = 1.0 + config.channel_jitter * subj_rng.next_gaussian();
+          const double drifted =
+              1.0 + config.session_drift * session_pos * drift_dir[c];
+          trial_channel_gain[c] = std::max(0.2, jitter * drifted);
+        }
+        // One synergy-modulation clock per trial; channels derive their
+        // phase from the gesture's coordination profile.
+        const double trial_tremor_hz = 1.2 + 1.3 * subj_rng.next_double();
+        const double trial_tremor_phase = 2.0 * kPi * subj_rng.next_double();
+
+        for (std::size_t c = 0; c < config.channels; ++c) {
+          // Motion-artifact schedule for this channel: Poisson-ish bursts.
+          std::vector<std::pair<std::size_t, std::size_t>> bursts;  // [start, end)
+          std::vector<double> burst_amp;
+          {
+            const double expected =
+                config.artifact_rate_hz * config.trial_seconds;
+            double cursor = subj_rng.next_double() * config.trial_seconds / std::max(1.0, expected);
+            while (cursor < config.trial_seconds && expected > 0.0) {
+              const double duration = 0.01 + 0.015 * subj_rng.next_double();
+              const auto start = static_cast<std::size_t>(cursor * config.sample_rate_hz);
+              const auto stop = std::min<std::size_t>(
+                  samples, static_cast<std::size_t>((cursor + duration) * config.sample_rate_hz));
+              if (start < stop) {
+                bursts.emplace_back(start, stop);
+                burst_amp.push_back(config.artifact_amp_mv *
+                                    subj_rng.next_uniform(0.5, 1.5));
+              }
+              // Exponential inter-arrival with mean 1/rate.
+              cursor += duration - std::log(std::max(1e-12, subj_rng.next_double())) /
+                                       std::max(1e-9, config.artifact_rate_hz);
+            }
+          }
+          std::size_t burst_idx = 0;
+          const auto blended_at = [&](double base) {
+            return ((1.0 - config.pattern_overlap) * base +
+                    config.pattern_overlap * common[c] * (is_rest ? 0.12 : 1.0)) *
+                   trial_channel_gain[c];
+          };
+          const double blended_true = blended_at(patterns[label][c]);
+          const double blended_conf = blended_at(patterns[confuser][c]);
+          const double tremor_hz = trial_tremor_hz;
+          const double tremor_phase = trial_tremor_phase + synergy_phase(label, c);
+          for (std::size_t i = 0; i < samples; ++i) {
+            const double t = static_cast<double>(i) * dt;
+            const double profile =
+                is_rest ? 1.0
+                        : activation_profile(t, onset, ramp, release, config.trial_seconds);
+            // Slow tremor/fatigue drift of the contraction strength.
+            const double drift =
+                1.0 + config.tremor_depth *
+                          std::sin(2.0 * kPi * tremor_hz * t + tremor_phase);
+            // Grip-slip interpolation between the true and confuser pattern.
+            double slip = 0.0;
+            if (hard_trial && t > slip_start_s) {
+              slip = slip_blend *
+                     std::min(1.0, (t - slip_start_s) / kSlipTransitionS);
+            }
+            const double blended = (1.0 - slip) * blended_true + slip * blended_conf;
+            // Modulated muscle-noise carrier: the envelope is the signal.
+            const double amplitude_mv = blended * gain[c] * strength * profile * drift *
+                                        config.max_amplitude_mv * 0.75;
+            const double carrier = subj_rng.next_gaussian() * amplitude_mv;
+            const double hum =
+                config.hum_amplitude_mv * std::sin(2.0 * kPi * 50.0 * t + hum_phase);
+            const double sensor = subject_noise_scale * config.channel_noise_mv *
+                                  subj_rng.next_gaussian();
+            while (burst_idx < bursts.size() && i >= bursts[burst_idx].second) ++burst_idx;
+            const bool in_burst = burst_idx < bursts.size() &&
+                                  i >= bursts[burst_idx].first &&
+                                  i < bursts[burst_idx].second;
+            const double artifact =
+                in_burst ? burst_amp[burst_idx] * subj_rng.next_gaussian() : 0.0;
+            trial.raw[c][i] = adc_16bit_roundtrip(
+                static_cast<float>(carrier + hum + sensor + artifact), kAdcFullScaleMv);
+          }
+        }
+
+        // Preprocessing (off-platform, Fig. 1): notch out the hum, extract
+        // the amplitude envelope, clamp to the CIM range.
+        std::vector<std::vector<float>> envelopes(config.channels);
+        for (std::size_t c = 0; c < config.channels; ++c) {
+          notch.reset();
+          const std::vector<float> clean = notch.process_signal(trial.raw[c]);
+          envelopes[c] = envelope.extract(clean);
+          for (float& v : envelopes[c]) {
+            v = std::clamp(v, 0.0f, static_cast<float>(config.max_amplitude_mv));
+          }
+        }
+        trial.envelope.resize(samples);
+        for (std::size_t i = 0; i < samples; ++i) {
+          hd::Sample s(config.channels);
+          for (std::size_t c = 0; c < config.channels; ++c) s[c] = envelopes[c][i];
+          trial.envelope[i] = std::move(s);
+        }
+        ds.trials.push_back(std::move(trial));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace pulphd::emg

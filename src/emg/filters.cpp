@@ -1,0 +1,74 @@
+#include "emg/filters.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace pulphd::emg {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kRectifiedGaussianGain = 1.2533141373155003;  // sqrt(pi/2)
+}  // namespace
+
+Biquad::Biquad(double b0, double b1, double b2, double a0, double a1, double a2)
+    : b0_(b0 / a0), b1_(b1 / a0), b2_(b2 / a0), a1_(a1 / a0), a2_(a2 / a0) {
+  require(a0 != 0.0, "Biquad: a0 must be nonzero");
+}
+
+Biquad Biquad::notch(double sample_rate_hz, double freq_hz, double q) {
+  require(sample_rate_hz > 0 && freq_hz > 0 && freq_hz < sample_rate_hz / 2,
+          "Biquad::notch: frequency must be in (0, Nyquist)");
+  require(q > 0, "Biquad::notch: q must be positive");
+  const double w0 = 2.0 * kPi * freq_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  return Biquad(1.0, -2.0 * cw, 1.0, 1.0 + alpha, -2.0 * cw, 1.0 - alpha);
+}
+
+Biquad Biquad::lowpass(double sample_rate_hz, double freq_hz) {
+  require(sample_rate_hz > 0 && freq_hz > 0 && freq_hz < sample_rate_hz / 2,
+          "Biquad::lowpass: frequency must be in (0, Nyquist)");
+  const double w0 = 2.0 * kPi * freq_hz / sample_rate_hz;
+  const double q = 1.0 / std::sqrt(2.0);  // Butterworth alignment
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double b1 = 1.0 - cw;
+  return Biquad(b1 / 2.0, b1, b1 / 2.0, 1.0 + alpha, -2.0 * cw, 1.0 - alpha);
+}
+
+float Biquad::process(float x) noexcept {
+  const double xd = static_cast<double>(x);
+  const double y = b0_ * xd + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = xd;
+  y2_ = y1_;
+  y1_ = y;
+  return static_cast<float>(y);
+}
+
+void Biquad::reset() noexcept { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+std::vector<float> Biquad::process_signal(std::span<const float> signal) {
+  std::vector<float> out;
+  out.reserve(signal.size());
+  for (const float x : signal) out.push_back(process(x));
+  return out;
+}
+
+EnvelopeExtractor::EnvelopeExtractor(double sample_rate_hz, double cutoff_hz)
+    : lowpass_(Biquad::lowpass(sample_rate_hz, cutoff_hz)) {}
+
+std::vector<float> EnvelopeExtractor::extract(std::span<const float> signal) {
+  lowpass_.reset();
+  std::vector<float> out;
+  out.reserve(signal.size());
+  for (const float x : signal) {
+    const float rectified = std::fabs(x);
+    const float smoothed = lowpass_.process(rectified);
+    out.push_back(static_cast<float>(smoothed * kRectifiedGaussianGain));
+  }
+  return out;
+}
+
+}  // namespace pulphd::emg

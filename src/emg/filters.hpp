@@ -1,0 +1,51 @@
+// IIR biquad filters and envelope extraction — the preprocessing block of
+// Fig. 1 ("power line interference removal and envelope extraction", §3).
+//
+// The paper runs this block off-platform, so it contributes no cycles to
+// the accelerator model; it exists to turn the synthetic raw EMG into the
+// 0-21 mV amplitude envelopes the CIM quantizes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pulphd::emg {
+
+/// Direct-form-I biquad: y = (b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2) / a0.
+class Biquad {
+ public:
+  Biquad(double b0, double b1, double b2, double a0, double a1, double a2);
+
+  /// RBJ-cookbook notch at `freq_hz` with quality factor `q`.
+  static Biquad notch(double sample_rate_hz, double freq_hz, double q);
+
+  /// RBJ-cookbook 2nd-order Butterworth-style low-pass at `freq_hz`.
+  static Biquad lowpass(double sample_rate_hz, double freq_hz);
+
+  float process(float x) noexcept;
+  void reset() noexcept;
+
+  /// Filters a whole signal (stateful; call reset() between signals).
+  std::vector<float> process_signal(std::span<const float> signal);
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;
+};
+
+/// Amplitude envelope: full-wave rectification followed by a 2nd-order
+/// low-pass, with a gain correcting the rectified-Gaussian mean
+/// (E|X| = sigma * sqrt(2/pi)) so the output tracks the modulating
+/// amplitude rather than its rectified mean.
+class EnvelopeExtractor {
+ public:
+  EnvelopeExtractor(double sample_rate_hz, double cutoff_hz);
+
+  std::vector<float> extract(std::span<const float> signal);
+
+ private:
+  Biquad lowpass_;
+};
+
+}  // namespace pulphd::emg

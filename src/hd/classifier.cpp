@@ -1,0 +1,75 @@
+#include "hd/classifier.hpp"
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+void ClassifierConfig::validate() const {
+  require(dim >= 8, "ClassifierConfig: dim must be >= 8");
+  require(channels >= 1, "ClassifierConfig: channels must be >= 1");
+  require(levels >= 2, "ClassifierConfig: levels must be >= 2");
+  require(min_value < max_value, "ClassifierConfig: min_value must be < max_value");
+  require(ngram >= 1, "ClassifierConfig: ngram must be >= 1");
+  require(classes >= 2, "ClassifierConfig: classes must be >= 2");
+}
+
+namespace {
+ClassifierConfig validated(ClassifierConfig config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+HdClassifier::HdClassifier(const ClassifierConfig& config)
+    : config_(validated(config)),
+      im_(config_.channels, config_.dim, derive_seed(config_.seed, "item-memory")),
+      cim_(config_.levels, config_.dim, config_.min_value, config_.max_value,
+           derive_seed(config_.seed, "continuous-item-memory")),
+      spatial_(im_, cim_, config_.channels),
+      am_(config_.classes, config_.dim, derive_seed(config_.seed, "am-tie-break")),
+      query_tie_break_(config_.dim) {
+  Xoshiro256StarStar rng(derive_seed(config_.seed, "query-tie-break"));
+  query_tie_break_ = Hypervector::random(config_.dim, rng);
+}
+
+std::vector<Hypervector> HdClassifier::encode_trial(const Trial& trial) const {
+  std::vector<Hypervector> spatials;
+  spatials.reserve(trial.size());
+  for (const Sample& sample : trial) {
+    spatials.push_back(spatial_.encode(sample));
+  }
+  if (config_.ngram == 1) return spatials;  // pass-through, avoids re-copy
+  return TemporalEncoder::encode_sequence(spatials, config_.ngram);
+}
+
+Hypervector HdClassifier::encode_query(const Trial& trial) const {
+  const std::vector<Hypervector> grams = encode_trial(trial);
+  require(!grams.empty(), "HdClassifier::encode_query: trial shorter than N-gram window");
+  if (grams.size() == 1) return grams.front();
+  BundleAccumulator acc(config_.dim);
+  for (const auto& g : grams) acc.add(g);
+  return acc.finalize(query_tie_break_);
+}
+
+void HdClassifier::train(const Trial& trial, std::size_t label) {
+  const std::vector<Hypervector> grams = encode_trial(trial);
+  require(!grams.empty(), "HdClassifier::train: trial shorter than N-gram window");
+  am_.train_batch(label, grams);
+}
+
+AmDecision HdClassifier::predict(const Trial& trial) const {
+  return am_.classify(encode_query(trial));
+}
+
+ModelFootprint HdClassifier::footprint() const noexcept {
+  ModelFootprint fp;
+  const std::size_t hv_bytes = words_for_dim(config_.dim) * sizeof(Word);
+  fp.im_bytes = im_.footprint_bytes();
+  fp.cim_bytes = cim_.footprint_bytes();
+  fp.am_bytes = am_.footprint_bytes();
+  fp.spatial_buffer_bytes = hv_bytes;
+  fp.ngram_buffer_bytes = (config_.ngram + 1) * hv_bytes;
+  return fp;
+}
+
+}  // namespace pulphd::hd

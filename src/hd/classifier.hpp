@@ -1,0 +1,93 @@
+// End-to-end HD classifier: CIM/IM mapping -> spatial encoder -> temporal
+// encoder -> associative memory, exactly the processing chain of Fig. 1.
+//
+// This is the host-side golden model ("implement and validate ... on MATLAB
+// to establish a golden model to follow", §4.1). The simulated PULP kernels
+// in src/kernels reproduce its outputs bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hd/associative_memory.hpp"
+#include "hd/encoder.hpp"
+#include "hd/item_memory.hpp"
+
+namespace pulphd::hd {
+
+/// One time-aligned multichannel sample (one physical value per channel).
+using Sample = std::vector<float>;
+/// A trial: consecutive samples of one labeled event (e.g. one 3 s gesture).
+using Trial = std::vector<Sample>;
+
+struct ClassifierConfig {
+  std::size_t dim = 10000;       ///< hypervector dimensionality D
+  std::size_t channels = 4;      ///< input channels (EMG electrodes)
+  std::size_t levels = 22;       ///< CIM quantization levels (EMG: 0..21 mV)
+  double min_value = 0.0;        ///< CIM range lower endpoint
+  double max_value = 21.0;       ///< CIM range upper endpoint
+  std::size_t ngram = 1;         ///< temporal window N (EMG: 1, EEG: up to 29)
+  std::size_t classes = 5;       ///< output classes (4 gestures + rest)
+  std::uint64_t seed = 0x9d1feed5ULL;  ///< master seed
+
+  /// Validates ranges; throws std::invalid_argument on nonsense.
+  void validate() const;
+};
+
+/// Aggregate memory footprint of the trained model matrices, in bytes —
+/// the quantity plotted as the red line of Fig. 5.
+struct ModelFootprint {
+  std::size_t im_bytes = 0;
+  std::size_t cim_bytes = 0;
+  std::size_t am_bytes = 0;
+  std::size_t spatial_buffer_bytes = 0;   // one hypervector (L1 scratch)
+  std::size_t ngram_buffer_bytes = 0;     // N spatial HVs + 1 N-gram HV
+
+  std::size_t total() const noexcept {
+    return im_bytes + cim_bytes + am_bytes + spatial_buffer_bytes + ngram_buffer_bytes;
+  }
+};
+
+class HdClassifier {
+ public:
+  explicit HdClassifier(const ClassifierConfig& config);
+
+  const ClassifierConfig& config() const noexcept { return config_; }
+  const ItemMemory& im() const noexcept { return im_; }
+  const ContinuousItemMemory& cim() const noexcept { return cim_; }
+  const AssociativeMemory& am() const noexcept { return am_; }
+  AssociativeMemory& mutable_am() noexcept { return am_; }
+  const SpatialEncoder& spatial_encoder() const noexcept { return spatial_; }
+
+  /// Encodes a trial into its sequence of N-gram hypervectors (one per
+  /// complete window; empty when the trial is shorter than N).
+  std::vector<Hypervector> encode_trial(const Trial& trial) const;
+
+  /// Bundles a trial's N-gram hypervectors into a single query hypervector
+  /// — how both prototypes and queries are formed "in an identical way"
+  /// (§2.1.1). Throws when the trial is shorter than N samples.
+  Hypervector encode_query(const Trial& trial) const;
+
+  /// Accumulates a labeled trial into the AM (each N-gram of the trial is
+  /// added to the class accumulator, as in the paper's training).
+  void train(const Trial& trial, std::size_t label);
+
+  /// Classifies a trial via its bundled query hypervector.
+  AmDecision predict(const Trial& trial) const;
+
+  /// Classifies a single already-encoded query.
+  AmDecision predict_encoded(const Hypervector& query) const { return am_.classify(query); }
+
+  ModelFootprint footprint() const noexcept;
+
+ private:
+  ClassifierConfig config_;
+  ItemMemory im_;
+  ContinuousItemMemory cim_;
+  SpatialEncoder spatial_;
+  AssociativeMemory am_;
+  Hypervector query_tie_break_;
+};
+
+}  // namespace pulphd::hd

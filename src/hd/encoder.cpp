@@ -1,0 +1,66 @@
+#include "hd/encoder.hpp"
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+SpatialEncoder::SpatialEncoder(const ItemMemory& im, const ContinuousItemMemory& cim,
+                               std::size_t channels)
+    : im_(&im), cim_(&cim), channels_(channels) {
+  require(channels >= 1, "SpatialEncoder: channels must be >= 1");
+  require(im.size() >= channels, "SpatialEncoder: item memory smaller than channel count");
+  require(im.dim() == cim.dim(), "SpatialEncoder: IM/CIM dimension mismatch");
+}
+
+std::vector<Hypervector> SpatialEncoder::bind_channels(std::span<const float> sample) const {
+  require(sample.size() == channels_, "SpatialEncoder: sample size != channel count");
+  std::vector<Hypervector> bound;
+  bound.reserve(channels_ + 1);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    bound.push_back(im_->at(c) ^ cim_->encode(sample[c]));
+  }
+  if (channels_ % 2 == 0) {
+    if (channels_ >= 2) {
+      bound.push_back(bound[0] ^ bound[1]);
+    } else {
+      // Unreachable (channels >= 1 and even implies >= 2); kept as a guard.
+      bound.push_back(bound[0]);
+    }
+  }
+  return bound;
+}
+
+Hypervector SpatialEncoder::encode(std::span<const float> sample) const {
+  const std::vector<Hypervector> bound = bind_channels(sample);
+  return majority(bound);  // bind_channels guarantees an odd operand count
+}
+
+TemporalEncoder::TemporalEncoder(std::size_t n, std::size_t dim) : n_(n), dim_(dim) {
+  require(n >= 1, "TemporalEncoder: n must be >= 1");
+  require(dim >= 1, "TemporalEncoder: dim must be >= 1");
+}
+
+bool TemporalEncoder::push(const Hypervector& spatial, Hypervector* out) {
+  require(spatial.dim() == dim_, "TemporalEncoder::push: dimension mismatch");
+  require(out != nullptr, "TemporalEncoder::push: out must not be null");
+  window_.push_back(spatial);
+  if (window_.size() > n_) window_.pop_front();
+  if (window_.size() < n_) return false;
+  const std::vector<Hypervector> win(window_.begin(), window_.end());
+  *out = ngram(win);
+  return true;
+}
+
+std::vector<Hypervector> TemporalEncoder::encode_sequence(std::span<const Hypervector> sequence,
+                                                          std::size_t n) {
+  require(n >= 1, "TemporalEncoder::encode_sequence: n must be >= 1");
+  std::vector<Hypervector> out;
+  if (sequence.size() < n) return out;
+  out.reserve(sequence.size() - n + 1);
+  for (std::size_t start = 0; start + n <= sequence.size(); ++start) {
+    out.push_back(ngram(sequence.subspan(start, n)));
+  }
+  return out;
+}
+
+}  // namespace pulphd::hd

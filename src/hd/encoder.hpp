@@ -1,0 +1,82 @@
+// Spatial and temporal encoders — the middle stage of the processing chain
+// (Fig. 1 of the paper).
+//
+// Spatial encoder: given one time-aligned sample per channel, bind each
+// channel hypervector E_i (IM) with the hypervector of its quantized signal
+// level V_i^t (CIM) and bundle the bound pairs with componentwise majority:
+//   S_t = [ (E_1 ^ V_1^t) + ... + (E_c ^ V_c^t) ]
+// With an even channel count, the tie-break operand (E_1^V_1) ^ (E_2^V_2)
+// is added (§5.1: "one random but reproducible hypervector is generated, by
+// componentwise XOR between two bound hypervectors").
+//
+// Temporal encoder: an N-gram over the last N spatial hypervectors,
+//   G_t = S_t ^ rho(S_{t+1}) ^ ... ^ rho^{N-1}(S_{t+N-1}).
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "hd/item_memory.hpp"
+#include "hd/ops.hpp"
+
+namespace pulphd::hd {
+
+/// Stateless spatial encoder over a fixed channel set.
+class SpatialEncoder {
+ public:
+  /// Both memories must share the same dimension; the IM must have at least
+  /// as many items as `channels`.
+  SpatialEncoder(const ItemMemory& im, const ContinuousItemMemory& cim, std::size_t channels);
+
+  std::size_t channels() const noexcept { return channels_; }
+  std::size_t dim() const noexcept { return im_->dim(); }
+
+  /// Encodes one multichannel sample (one value per channel, in the CIM's
+  /// physical units). `sample.size()` must equal `channels()`.
+  Hypervector encode(std::span<const float> sample) const;
+
+  /// Exposes the bound (pre-majority) hypervectors, including the tie-break
+  /// operand when the channel count is even; used by bit-exactness tests
+  /// against the simulated kernel.
+  std::vector<Hypervector> bind_channels(std::span<const float> sample) const;
+
+ private:
+  const ItemMemory* im_;
+  const ContinuousItemMemory* cim_;
+  std::size_t channels_;
+};
+
+/// Sliding-window temporal (N-gram) encoder. Feed spatial hypervectors in
+/// chronological order; once `n` samples are buffered every push yields an
+/// N-gram. With n == 1 the encoder is a pass-through (the paper's EMG
+/// configuration).
+class TemporalEncoder {
+ public:
+  TemporalEncoder(std::size_t n, std::size_t dim);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Pushes the newest spatial hypervector; returns true when a full window
+  /// is available and `*out` was written with the window's N-gram.
+  bool push(const Hypervector& spatial, Hypervector* out);
+
+  /// Number of samples currently buffered (saturates at n).
+  std::size_t fill() const noexcept { return window_.size(); }
+
+  void reset() noexcept { window_.clear(); }
+
+  /// Batch helper: N-grams of every complete window of a sequence, i.e.
+  /// sequence.size() - n + 1 outputs (empty when the sequence is shorter
+  /// than n).
+  static std::vector<Hypervector> encode_sequence(std::span<const Hypervector> sequence,
+                                                  std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::size_t dim_;
+  std::deque<Hypervector> window_;
+};
+
+}  // namespace pulphd::hd

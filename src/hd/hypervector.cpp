@@ -1,0 +1,134 @@
+#include "hd/hypervector.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+Hypervector::Hypervector(std::size_t dim) : dim_(dim), words_(words_for_dim(dim), 0u) {
+  require(dim >= 1, "Hypervector: dim must be >= 1");
+}
+
+Hypervector::Hypervector(std::size_t dim, std::vector<Word> words)
+    : dim_(dim), words_(std::move(words)) {
+  require(dim >= 1, "Hypervector: dim must be >= 1");
+  require(words_.size() == words_for_dim(dim),
+          "Hypervector: word count does not match dimension");
+  clear_padding();
+}
+
+Hypervector Hypervector::random(std::size_t dim, Xoshiro256StarStar& rng) {
+  Hypervector hv(dim);
+  for (auto& w : hv.words_) {
+    w = static_cast<Word>(rng.next() & 0xffffffffu);
+  }
+  hv.clear_padding();
+  return hv;
+}
+
+Hypervector Hypervector::random_balanced(std::size_t dim, Xoshiro256StarStar& rng) {
+  Hypervector hv(dim);
+  // Fisher–Yates selection of exactly dim/2 positions to set.
+  std::vector<std::uint32_t> indices(dim);
+  std::iota(indices.begin(), indices.end(), 0u);
+  const std::size_t ones = dim / 2;
+  for (std::size_t i = 0; i < ones; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.next_below(dim - i));
+    std::swap(indices[i], indices[j]);
+    hv.set_bit(indices[i], true);
+  }
+  return hv;
+}
+
+bool Hypervector::bit(std::size_t i) const {
+  require(i < dim_, "Hypervector::bit: index out of range");
+  return extract_bit(words_[i / kWordBits], static_cast<unsigned>(i % kWordBits)) != 0;
+}
+
+void Hypervector::set_bit(std::size_t i, bool value) {
+  require(i < dim_, "Hypervector::set_bit: index out of range");
+  words_[i / kWordBits] = insert_bit(words_[i / kWordBits],
+                                     static_cast<unsigned>(i % kWordBits),
+                                     value ? 1u : 0u);
+}
+
+void Hypervector::flip_bit(std::size_t i) {
+  require(i < dim_, "Hypervector::flip_bit: index out of range");
+  words_[i / kWordBits] ^= (Word{1} << (i % kWordBits));
+}
+
+std::size_t Hypervector::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const Word w : words_) total += static_cast<std::size_t>(pulphd::popcount(w));
+  return total;
+}
+
+std::size_t Hypervector::hamming(const Hypervector& other) const {
+  require(dim_ == other.dim_, "Hypervector::hamming: dimension mismatch");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(pulphd::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+double Hypervector::normalized_hamming(const Hypervector& other) const {
+  return static_cast<double>(hamming(other)) / static_cast<double>(dim_);
+}
+
+Hypervector Hypervector::operator^(const Hypervector& other) const {
+  Hypervector out = *this;
+  out ^= other;
+  return out;
+}
+
+Hypervector& Hypervector::operator^=(const Hypervector& other) {
+  require(dim_ == other.dim_, "Hypervector::operator^=: dimension mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;  // XOR of zero-padded words keeps padding zero.
+}
+
+Hypervector Hypervector::operator~() const {
+  Hypervector out = *this;
+  for (auto& w : out.words_) w = ~w;
+  out.clear_padding();
+  return out;
+}
+
+Hypervector Hypervector::rotated(std::size_t k) const {
+  k %= dim_;
+  if (k == 0) return *this;
+  Hypervector out(dim_);
+  // Component i of the output takes component (i + dim - k) % dim of the
+  // input, i.e. every component moves k positions towards the MSB end —
+  // a left rotation in component order.
+  //
+  // General D means the rotation does not align to word boundaries; do it
+  // in two block copies with bit offsets.
+  const auto copy_range = [&](std::size_t src_begin, std::size_t dst_begin, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (bit(src_begin + i)) out.set_bit(dst_begin + i, true);
+    }
+  };
+  copy_range(0, k, dim_ - k);
+  copy_range(dim_ - k, 0, k);
+  return out;
+}
+
+void Hypervector::clear_padding() noexcept {
+  const unsigned used = static_cast<unsigned>(dim_ % kWordBits);
+  if (used != 0) words_.back() &= low_bits_mask(used);
+}
+
+std::string Hypervector::to_string(std::size_t max_bits) const {
+  const std::size_t n = std::min(max_bits, dim_);
+  std::string out;
+  out.reserve(n + 3);
+  for (std::size_t i = 0; i < n; ++i) out += bit(i) ? '1' : '0';
+  if (n < dim_) out += "...";
+  return out;
+}
+
+}  // namespace pulphd::hd

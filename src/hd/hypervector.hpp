@@ -1,0 +1,87 @@
+// Packed binary hypervector.
+//
+// The fundamental data type of HD computing as used by the paper: a D-bit
+// binary vector with (pseudo)random i.i.d. components, packed 32 components
+// per unsigned 32-bit word ("we directly map 32 consecutive binary
+// components of a hypervector to an unsigned integer variable with 32 bits",
+// §3). For the paper's D = 10,000 this gives 313 words per hypervector.
+//
+// Invariant: the padding bits beyond `dim()` in the last word are always
+// zero. All operations preserve this; it makes Hamming distance and
+// popcount straightforward word-wise reductions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace pulphd::hd {
+
+class Hypervector {
+ public:
+  /// Creates an all-zero hypervector of `dim` components. dim must be >= 1.
+  explicit Hypervector(std::size_t dim);
+
+  /// Creates a hypervector from pre-packed words (low bit of words[0] is
+  /// component 0). Padding bits must be zero; enforced by clearing them.
+  Hypervector(std::size_t dim, std::vector<Word> words);
+
+  /// Uniformly random hypervector: every component is an independent fair
+  /// coin flip — the paper's "equal number of randomly placed 1s and 0s" in
+  /// expectation. This is how IM seed vectors are drawn.
+  static Hypervector random(std::size_t dim, Xoshiro256StarStar& rng);
+
+  /// Random hypervector with *exactly* floor(dim/2) ones (dense binary code
+  /// with exact balance); used where exact balance matters in tests.
+  static Hypervector random_balanced(std::size_t dim, Xoshiro256StarStar& rng);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  std::span<const Word> words() const noexcept { return words_; }
+  std::span<Word> mutable_words() noexcept { return words_; }
+
+  bool bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool value);
+  void flip_bit(std::size_t i);
+
+  /// Number of components equal to 1.
+  std::size_t popcount() const noexcept;
+
+  /// Hamming distance to `other`; both must have equal dim.
+  std::size_t hamming(const Hypervector& other) const;
+
+  /// Normalized Hamming distance in [0, 1] (0 = identical, ~0.5 = orthogonal).
+  double normalized_hamming(const Hypervector& other) const;
+
+  /// Componentwise XOR — HD multiplication / binding.
+  Hypervector operator^(const Hypervector& other) const;
+  Hypervector& operator^=(const Hypervector& other);
+
+  /// Componentwise NOT (with padding kept zero).
+  Hypervector operator~() const;
+
+  /// Rotates all components left by `k` positions (the paper's permutation
+  /// rho^k: component i of the result is component (i + k) mod dim of the
+  /// input... see ops.hpp for orientation discussion).
+  Hypervector rotated(std::size_t k) const;
+
+  /// Zeroes any set padding bits; exposed for deserialization paths.
+  void clear_padding() noexcept;
+
+  /// "0101..." string of the first `max_bits` components (debugging aid).
+  std::string to_string(std::size_t max_bits = 64) const;
+
+  friend bool operator==(const Hypervector& a, const Hypervector& b) = default;
+
+ private:
+  std::size_t dim_;
+  std::vector<Word> words_;
+};
+
+}  // namespace pulphd::hd

@@ -1,0 +1,74 @@
+#include "hd/metrics.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), cells_(classes * classes, 0) {
+  require(classes >= 1, "ConfusionMatrix: classes must be >= 1");
+}
+
+void ConfusionMatrix::record(std::size_t true_label, std::size_t predicted_label) {
+  require(true_label < classes_ && predicted_label < classes_,
+          "ConfusionMatrix::record: label out of range");
+  ++cells_[true_label * classes_ + predicted_label];
+  ++total_;
+  if (true_label == predicted_label) ++correct_;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t true_label, std::size_t predicted_label) const {
+  require(true_label < classes_ && predicted_label < classes_,
+          "ConfusionMatrix::at: label out of range");
+  return cells_[true_label * classes_ + predicted_label];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  return total_ == 0 ? 0.0 : static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+  std::vector<double> out(classes_, 0.0);
+  for (std::size_t t = 0; t < classes_; ++t) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < classes_; ++p) row_total += at(t, p);
+    if (row_total > 0) {
+      out[t] = static_cast<double>(at(t, t)) / static_cast<double>(row_total);
+    }
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::to_string(const std::vector<std::string>& class_names) const {
+  std::ostringstream out;
+  auto name = [&](std::size_t c) {
+    return c < class_names.size() ? class_names[c] : "class" + std::to_string(c);
+  };
+  out << "confusion matrix (rows = truth, cols = prediction):\n";
+  for (std::size_t t = 0; t < classes_; ++t) {
+    out << "  " << name(t) << ":";
+    for (std::size_t p = 0; p < classes_; ++p) out << ' ' << at(t, p);
+    out << '\n';
+  }
+  return out.str();
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace pulphd::hd

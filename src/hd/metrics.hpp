@@ -1,0 +1,44 @@
+// Classification quality metrics shared by the accuracy experiments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pulphd::hd {
+
+/// Row-major confusion matrix: entry (true_label, predicted_label).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  void record(std::size_t true_label, std::size_t predicted_label);
+
+  std::size_t classes() const noexcept { return classes_; }
+  std::size_t at(std::size_t true_label, std::size_t predicted_label) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Fraction of diagonal entries; 0 when nothing was recorded.
+  double accuracy() const noexcept;
+
+  /// Per-class recall (correct / occurrences of that true label; 0 if unseen).
+  std::vector<double> recall() const;
+
+  /// Human-readable rendering with optional class names.
+  std::string to_string(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::size_t correct_ = 0;
+  std::vector<std::size_t> cells_;
+};
+
+/// Mean of a vector of accuracies (e.g. across subjects), as the paper's
+/// "mean classification accuracy of gestures among five subjects".
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (N-1 normalization); 0 for fewer than 2 values.
+double stddev(const std::vector<double>& values);
+
+}  // namespace pulphd::hd

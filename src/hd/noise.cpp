@@ -1,0 +1,55 @@
+#include "hd/noise.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+Hypervector with_bit_flips(const Hypervector& hv, std::size_t flips, Xoshiro256StarStar& rng) {
+  require(flips <= hv.dim(), "with_bit_flips: more flips than components");
+  Hypervector out = hv;
+  // Partial Fisher–Yates over component indices: the first `flips` entries
+  // are a uniform sample without replacement.
+  std::vector<std::uint32_t> indices(hv.dim());
+  std::iota(indices.begin(), indices.end(), 0u);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.next_below(hv.dim() - i));
+    std::swap(indices[i], indices[j]);
+    out.flip_bit(indices[i]);
+  }
+  return out;
+}
+
+Hypervector with_bit_error_rate(const Hypervector& hv, double p, Xoshiro256StarStar& rng) {
+  require(p >= 0.0 && p <= 1.0, "with_bit_error_rate: p must be in [0, 1]");
+  Hypervector out = hv;
+  for (std::size_t i = 0; i < hv.dim(); ++i) {
+    if (rng.next_bernoulli(p)) out.flip_bit(i);
+  }
+  return out;
+}
+
+Hypervector truncated(const Hypervector& hv, std::size_t new_dim) {
+  require(new_dim >= 1 && new_dim <= hv.dim(), "truncated: bad target dimension");
+  Hypervector out(new_dim);
+  for (std::size_t i = 0; i < new_dim; ++i) {
+    if (hv.bit(i)) out.set_bit(i, true);
+  }
+  return out;
+}
+
+AssociativeMemory am_with_faults(const AssociativeMemory& am, double p, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  AssociativeMemory out(am.classes(), am.dim(), seed);
+  std::vector<Hypervector> faulty;
+  faulty.reserve(am.classes());
+  for (std::size_t c = 0; c < am.classes(); ++c) {
+    faulty.push_back(with_bit_error_rate(am.prototype(c), p, rng));
+  }
+  out.load_prototypes(std::move(faulty));
+  return out;
+}
+
+}  // namespace pulphd::hd

@@ -1,0 +1,34 @@
+// Fault injection and robustness utilities.
+//
+// The paper leans on HD computing's "graceful degradation with lower
+// dimensionality, or faulty components" (§4.1) to trade accuracy for
+// resources. These helpers inject the corresponding perturbations so the
+// claim can be measured: random component flips (memory faults) and
+// dimensionality truncation (resource scaling).
+#pragma once
+
+#include <cstdint>
+
+#include "hd/associative_memory.hpp"
+#include "hd/hypervector.hpp"
+
+namespace pulphd::hd {
+
+/// Flips `flips` distinct randomly chosen components of `hv`.
+/// flips must be <= hv.dim().
+Hypervector with_bit_flips(const Hypervector& hv, std::size_t flips, Xoshiro256StarStar& rng);
+
+/// Flips each component independently with probability `p` (a symmetric
+/// bit-error channel, the standard model for faulty nanoscale memories).
+Hypervector with_bit_error_rate(const Hypervector& hv, double p, Xoshiro256StarStar& rng);
+
+/// Truncates a hypervector to its first `new_dim` components.
+Hypervector truncated(const Hypervector& hv, std::size_t new_dim);
+
+/// Returns a copy of `am` whose prototypes all passed through a symmetric
+/// bit-error channel with rate `p` — models deploying the trained model in
+/// a faulty associative memory.
+AssociativeMemory am_with_faults(const AssociativeMemory& am, double p,
+                                 std::uint64_t seed);
+
+}  // namespace pulphd::hd

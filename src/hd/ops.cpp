@@ -1,0 +1,143 @@
+#include "hd/ops.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+Hypervector bind(const Hypervector& a, const Hypervector& b) { return a ^ b; }
+
+Hypervector permute(const Hypervector& a, std::size_t k) { return a.rotated(k); }
+
+namespace {
+
+Hypervector majority_of(std::span<const Hypervector> inputs) {
+  const std::size_t dim = inputs.front().dim();
+  for (const auto& hv : inputs) {
+    require(hv.dim() == dim, "majority: dimension mismatch among inputs");
+  }
+  const std::size_t n = inputs.size();
+  const std::size_t threshold = n / 2;  // majority means count > threshold
+  // Bit-sliced counting: per output word keep a vertical counter of
+  // ceil(log2(n+1)) planes, add each input's bits with a ripple of
+  // half-adders, then evaluate count > threshold with a bitwise MSB-first
+  // comparator. This is the golden model's fast path — semantically
+  // identical to per-bit counting (the simulated kernels implement the
+  // paper's per-bit sequences and are tested bit-exact against this).
+  unsigned planes = 1;
+  while ((std::size_t{1} << planes) <= n) ++planes;
+
+  Hypervector out(dim);
+  const std::size_t word_count = out.word_count();
+  auto out_words = out.mutable_words();
+  std::vector<Word> counter(planes);
+  for (std::size_t w = 0; w < word_count; ++w) {
+    std::fill(counter.begin(), counter.end(), 0u);
+    for (const auto& hv : inputs) {
+      Word carry = hv.words()[w];
+      for (unsigned p = 0; p < planes && carry != 0; ++p) {
+        const Word next_carry = counter[p] & carry;
+        counter[p] ^= carry;
+        carry = next_carry;
+      }
+    }
+    Word gt = 0;
+    Word eq = ~Word{0};
+    for (unsigned p = planes; p-- > 0;) {
+      const Word tbit = (threshold >> p) & 1u ? ~Word{0} : Word{0};
+      gt |= eq & counter[p] & ~tbit;
+      eq &= ~(counter[p] ^ tbit);
+    }
+    out_words[w] = gt;
+  }
+  out.clear_padding();
+  return out;
+}
+
+}  // namespace
+
+Hypervector majority(std::span<const Hypervector> inputs) {
+  require(!inputs.empty(), "majority: needs at least one input");
+  require(inputs.size() % 2 == 1, "majority: operand count must be odd (use majority_with_tiebreak)");
+  return majority_of(inputs);
+}
+
+Hypervector majority_with_tiebreak(std::span<const Hypervector> inputs) {
+  require(!inputs.empty(), "majority_with_tiebreak: needs at least one input");
+  if (inputs.size() % 2 == 1) return majority_of(inputs);
+  require(inputs.size() >= 2, "majority_with_tiebreak: even count must be >= 2");
+  std::vector<Hypervector> extended(inputs.begin(), inputs.end());
+  extended.push_back(inputs[0] ^ inputs[1]);  // §5.1's reproducible tie-breaker
+  return majority_of(extended);
+}
+
+Hypervector ngram(std::span<const Hypervector> window) {
+  require(!window.empty(), "ngram: window must not be empty");
+  Hypervector out = window[0];
+  for (std::size_t k = 1; k < window.size(); ++k) {
+    require(window[k].dim() == out.dim(), "ngram: dimension mismatch in window");
+    out ^= window[k].rotated(k);
+  }
+  return out;
+}
+
+BundleAccumulator::BundleAccumulator(std::size_t dim) : counts_(dim, 0u) {
+  require(dim >= 1, "BundleAccumulator: dim must be >= 1");
+}
+
+void BundleAccumulator::add(const Hypervector& hv) { add_weighted(hv, 1); }
+
+void BundleAccumulator::add_weighted(const Hypervector& hv, std::uint32_t weight) {
+  require(hv.dim() == counts_.size(), "BundleAccumulator::add: dimension mismatch");
+  require(weight >= 1, "BundleAccumulator::add_weighted: weight must be >= 1");
+  // Word-wise walk (no per-component bounds checks): this runs once per
+  // encoded N-gram during training, i.e. millions of component updates.
+  const auto words = hv.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    Word word = words[w];
+    const std::size_t base = w * kWordBits;
+    while (word != 0) {
+      const auto b = static_cast<unsigned>(std::countr_zero(word));
+      counts_[base + b] += weight;
+      word &= word - 1;  // clear lowest set bit
+    }
+  }
+  count_ += weight;
+}
+
+Hypervector BundleAccumulator::finalize(const Hypervector& tie_break) const {
+  check_invariant(count_ > 0, "BundleAccumulator::finalize: nothing accumulated");
+  require(tie_break.dim() == counts_.size(), "BundleAccumulator::finalize: tie-break dim mismatch");
+  Hypervector out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t doubled = 2ULL * counts_[i];
+    if (doubled > count_) {
+      out.set_bit(i, true);
+    } else if (doubled == count_) {
+      out.set_bit(i, tie_break.bit(i));
+    }
+  }
+  return out;
+}
+
+Hypervector BundleAccumulator::finalize_seeded(std::uint64_t seed) const {
+  Xoshiro256StarStar rng(seed);
+  return finalize(Hypervector::random(counts_.size(), rng));
+}
+
+void BundleAccumulator::reset() noexcept {
+  for (auto& c : counts_) c = 0;
+  count_ = 0;
+}
+
+std::vector<std::size_t> hamming_to_all(const Hypervector& query,
+                                        std::span<const Hypervector> book) {
+  std::vector<std::size_t> out;
+  out.reserve(book.size());
+  for (const auto& proto : book) out.push_back(query.hamming(proto));
+  return out;
+}
+
+}  // namespace pulphd::hd

@@ -1,0 +1,54 @@
+#include "hd/record_encoder.hpp"
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+
+RecordEncoder::RecordEncoder(std::size_t fields, std::size_t dim, std::uint64_t seed)
+    : roles_(fields, dim, seed) {
+  require(fields >= 1, "RecordEncoder: needs at least one field");
+}
+
+Hypervector RecordEncoder::encode(std::span<const Hypervector> fillers) const {
+  require(fillers.size() == roles_.size(), "RecordEncoder::encode: filler count mismatch");
+  std::vector<std::pair<std::size_t, const Hypervector*>> bound;
+  bound.reserve(fillers.size());
+  for (std::size_t f = 0; f < fillers.size(); ++f) bound.emplace_back(f, &fillers[f]);
+  return encode_partial(bound);
+}
+
+Hypervector RecordEncoder::encode_partial(
+    std::span<const std::pair<std::size_t, const Hypervector*>> bound_fields) const {
+  require(!bound_fields.empty(), "RecordEncoder::encode_partial: needs at least one field");
+  std::vector<Hypervector> pairs;
+  pairs.reserve(bound_fields.size() + 1);
+  for (const auto& [field, filler] : bound_fields) {
+    require(filler != nullptr, "RecordEncoder: null filler");
+    require(filler->dim() == dim(), "RecordEncoder: filler dimension mismatch");
+    pairs.push_back(roles_.at(field) ^ *filler);
+  }
+  return majority_with_tiebreak(pairs);
+}
+
+Hypervector RecordEncoder::probe(const Hypervector& record, std::size_t field) const {
+  require(record.dim() == dim(), "RecordEncoder::probe: record dimension mismatch");
+  return record ^ roles_.at(field);
+}
+
+RecordEncoder::Decoded RecordEncoder::decode(const Hypervector& record, std::size_t field,
+                                             std::span<const Hypervector> codebook) const {
+  require(!codebook.empty(), "RecordEncoder::decode: empty codebook");
+  const Hypervector noisy = probe(record, field);
+  Decoded best;
+  best.distance = 1.1;
+  for (std::size_t i = 0; i < codebook.size(); ++i) {
+    const double d = noisy.normalized_hamming(codebook[i]);
+    if (d < best.distance) {
+      best.distance = d;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace pulphd::hd

@@ -1,0 +1,60 @@
+// Record (role-filler) encoding — the HD data structure behind the
+// multimodal-fusion applications the paper's introduction cites:
+// "categorization of body physical activities from several heterogeneous
+// sensors" [23] and "predicting behavior of mobile-device users" [24].
+//
+// A record binds each field's *role* hypervector (from an IM over field
+// names) with its *filler* (the encoded value) and bundles the pairs:
+//
+//   R = [ (role_1 * filler_1) + (role_2 * filler_2) + ... ]
+//
+// Because binding is invertible, probing R with a role recovers a noisy
+// version of its filler: unbind(R, role_i) ~ filler_i — enabling the
+// "associations, form hierarchies" cognitive operations of §1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hd/item_memory.hpp"
+#include "hd/ops.hpp"
+
+namespace pulphd::hd {
+
+class RecordEncoder {
+ public:
+  /// `fields` is the number of roles; roles are drawn i.i.d. from `seed`.
+  RecordEncoder(std::size_t fields, std::size_t dim, std::uint64_t seed);
+
+  std::size_t fields() const noexcept { return roles_.size(); }
+  std::size_t dim() const noexcept { return roles_.dim(); }
+
+  const Hypervector& role(std::size_t field) const { return roles_.at(field); }
+
+  /// Encodes a full record. `fillers.size()` must equal `fields()`; each
+  /// filler must have the encoder's dimension. Even field counts append the
+  /// same reproducible tie-break operand as the spatial encoder.
+  Hypervector encode(std::span<const Hypervector> fillers) const;
+
+  /// Encodes a partial record from (field, filler) pairs (at least one).
+  Hypervector encode_partial(
+      std::span<const std::pair<std::size_t, const Hypervector*>> bound_fields) const;
+
+  /// Recovers the (noisy) filler stored under `field`: R * role_field.
+  /// Compare against a codebook with `hamming_to_all` to decode.
+  Hypervector probe(const Hypervector& record, std::size_t field) const;
+
+  /// Decodes a probed filler against a codebook: index of the closest
+  /// codebook entry and its normalized distance.
+  struct Decoded {
+    std::size_t index = 0;
+    double distance = 0.5;
+  };
+  Decoded decode(const Hypervector& record, std::size_t field,
+                 std::span<const Hypervector> codebook) const;
+
+ private:
+  ItemMemory roles_;
+};
+
+}  // namespace pulphd::hd

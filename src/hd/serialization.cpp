@@ -1,0 +1,117 @@
+#include "hd/serialization.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/status.hpp"
+
+namespace pulphd::hd {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31444850u;  // "PHD1" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_model: truncated stream");
+  return value;
+}
+
+void write_matrix(std::ostream& out, const std::vector<Hypervector>& rows) {
+  for (const auto& hv : rows) {
+    for (const Word w : hv.words()) write_pod(out, w);
+  }
+}
+
+std::vector<Hypervector> read_matrix(std::istream& in, std::size_t rows, std::size_t dim) {
+  std::vector<Hypervector> out;
+  out.reserve(rows);
+  const std::size_t words = words_for_dim(dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Word> row(words);
+    for (auto& w : row) w = read_pod<Word>(in);
+    out.emplace_back(dim, std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_model(const HdClassifier& clf, std::ostream& out) {
+  const ClassifierConfig& cfg = clf.config();
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint64_t>(out, cfg.dim);
+  write_pod<std::uint64_t>(out, cfg.channels);
+  write_pod<std::uint64_t>(out, cfg.levels);
+  write_pod<double>(out, cfg.min_value);
+  write_pod<double>(out, cfg.max_value);
+  write_pod<std::uint64_t>(out, cfg.ngram);
+  write_pod<std::uint64_t>(out, cfg.classes);
+  write_pod<std::uint64_t>(out, cfg.seed);
+  write_matrix(out, clf.im().items());
+  write_matrix(out, clf.cim().items());
+  write_matrix(out, clf.am().prototypes());
+  if (!out) throw std::runtime_error("save_model: stream write failed");
+}
+
+void save_model_file(const HdClassifier& clf, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(clf, out);
+}
+
+ClassifierModel load_model(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) throw std::runtime_error("load_model: bad magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_model: unsupported version " + std::to_string(version));
+  }
+  ClassifierModel model;
+  model.config.dim = read_pod<std::uint64_t>(in);
+  model.config.channels = read_pod<std::uint64_t>(in);
+  model.config.levels = read_pod<std::uint64_t>(in);
+  model.config.min_value = read_pod<double>(in);
+  model.config.max_value = read_pod<double>(in);
+  model.config.ngram = read_pod<std::uint64_t>(in);
+  model.config.classes = read_pod<std::uint64_t>(in);
+  model.config.seed = read_pod<std::uint64_t>(in);
+  model.config.validate();
+  model.im = read_matrix(in, model.config.channels, model.config.dim);
+  model.cim = read_matrix(in, model.config.levels, model.config.dim);
+  model.am = read_matrix(in, model.config.classes, model.config.dim);
+  return model;
+}
+
+ClassifierModel load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(in);
+}
+
+HdClassifier classifier_from_model(const ClassifierModel& model) {
+  // Rebuild with the stored seed so encoders exist, then overwrite the
+  // matrices with the deserialized contents. Note: HdClassifier's members
+  // reference its own IM/CIM, so we construct and then patch via the public
+  // loading API where available. IM/CIM are identical when the seed matches;
+  // if the stream carries foreign matrices we rebuild from them directly.
+  HdClassifier clf(model.config);
+  const bool seeds_match = clf.im().items() == model.im && clf.cim().items() == model.cim;
+  check_invariant(seeds_match,
+                  "classifier_from_model: IM/CIM matrices disagree with the config seed; "
+                  "the model stream is inconsistent");
+  clf.mutable_am().load_prototypes(model.am);
+  return clf;
+}
+
+}  // namespace pulphd::hd

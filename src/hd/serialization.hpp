@@ -1,0 +1,44 @@
+// Binary (de)serialization of trained HD models.
+//
+// Format: little-endian, versioned, with a magic tag — the layout a deeply
+// embedded target would flash alongside the firmware (the paper loads "the
+// CIM, IM, and AM matrices of the HD classifier ... into the ARM Cortex M4
+// for testing", §4.1).
+//
+//   [u32 magic 'PHD1'][u32 version]
+//   [u64 dim][u64 channels][u64 levels][f64 min][f64 max][u64 ngram][u64 classes][u64 seed]
+//   [IM  : channels x words u32]
+//   [CIM : levels   x words u32]
+//   [AM  : classes  x words u32]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hd/classifier.hpp"
+
+namespace pulphd::hd {
+
+/// A deserialized model: configuration plus the three seed/learned matrices.
+struct ClassifierModel {
+  ClassifierConfig config;
+  std::vector<Hypervector> im;
+  std::vector<Hypervector> cim;
+  std::vector<Hypervector> am;
+};
+
+/// Serializes the trained matrices of `clf` to a stream.
+/// Throws std::runtime_error on stream failure.
+void save_model(const HdClassifier& clf, std::ostream& out);
+void save_model_file(const HdClassifier& clf, const std::string& path);
+
+/// Parses a model; throws std::runtime_error on malformed input (bad magic,
+/// unsupported version, truncated matrices, inconsistent sizes).
+ClassifierModel load_model(std::istream& in);
+ClassifierModel load_model_file(const std::string& path);
+
+/// Rebuilds a ready-to-classify classifier from a deserialized model: the
+/// stored IM/CIM/AM matrices replace the seeded ones.
+HdClassifier classifier_from_model(const ClassifierModel& model);
+
+}  // namespace pulphd::hd

@@ -1,0 +1,80 @@
+#include "kernels/training.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.hpp"
+
+namespace pulphd::kernels {
+
+TrainingRun online_update(const sim::ClusterConfig& cluster, std::size_t dim,
+                          std::span<const Word> encoded,
+                          std::span<std::int16_t> counters,
+                          std::span<Word> prototype) {
+  const std::size_t words = words_for_dim(dim);
+  require(encoded.size() == words, "online_update: encoded word count mismatch");
+  require(counters.size() == dim, "online_update: counter size mismatch");
+  require(prototype.size() == words, "online_update: prototype word count mismatch");
+
+  sim::ParallelRuntime rt(cluster);
+  TrainingRun run;
+
+  // Phase 1: +-1 accumulation, parallel over words (32 counters per word).
+  const sim::RegionResult acc_region =
+      rt.parallel_for(words, [&](sim::CoreContext& ctx, std::size_t b, std::size_t e) {
+        for (std::size_t w = b; w < e; ++w) {
+          ctx.loop_iters(1);
+          ctx.load_l1(1);  // the encoded word
+          ctx.addr_update(1);
+          const Word word = encoded[w];
+          const std::size_t base = w * kWordBits;
+          const std::size_t limit = std::min<std::size_t>(kWordBits, dim - base);
+          for (std::size_t bit = 0; bit < limit; ++bit) {
+            // ld counter; extract vote; add/sub; st counter
+            ctx.loop_iters(1);
+            ctx.load_l1(1);
+            ctx.bit_extract(1);
+            ctx.alu(1);
+            ctx.store_l1(1);
+            ctx.addr_update(1);
+            const int vote = extract_bit(word, static_cast<unsigned>(bit)) ? 1 : -1;
+            auto& counter = counters[base + bit];
+            counter = static_cast<std::int16_t>(
+                std::clamp<int>(counter + vote, std::numeric_limits<std::int16_t>::min(),
+                                std::numeric_limits<std::int16_t>::max()));
+          }
+        }
+      });
+  run.accumulate_cycles = acc_region.makespan_cycles;
+
+  // Phase 2: sign re-threshold into the packed prototype.
+  const sim::RegionResult thr_region =
+      rt.parallel_for(words, [&](sim::CoreContext& ctx, std::size_t b, std::size_t e) {
+        for (std::size_t w = b; w < e; ++w) {
+          ctx.loop_iters(1);
+          Word out = 0;
+          const std::size_t base = w * kWordBits;
+          const std::size_t limit = std::min<std::size_t>(kWordBits, dim - base);
+          for (std::size_t bit = 0; bit < limit; ++bit) {
+            // ld counter; compare; insert sign bit
+            ctx.loop_iters(1);
+            ctx.load_l1(1);
+            ctx.alu(1);
+            ctx.bit_insert(1);
+            ctx.addr_update(1);
+            if (counters[base + bit] > 0) {
+              out = insert_bit(out, static_cast<unsigned>(bit), 1u);
+            }
+          }
+          ctx.store_l1(1);
+          prototype[w] = out;
+        }
+      });
+  run.threshold_cycles = thr_region.makespan_cycles;
+
+  run.overhead_cycles =
+      cluster.cores > 1 ? cluster.fork_join_cycles + cluster.barrier_cycles : 0;
+  return run;
+}
+
+}  // namespace pulphd::kernels

@@ -1,0 +1,46 @@
+// On-device training / online-update kernel (§3: "the AM matrix can be
+// continuously updated for on-line learning").
+//
+// Models the cycle cost of absorbing one encoded example into a class's
+// integer accumulator and re-thresholding the prototype on the cluster:
+//
+//   1. accumulate: for every component, counter += bit ? +1 : -1
+//      (bit-serial with p.extractu on Wolf; shift/mask elsewhere);
+//   2. re-threshold: for every component, prototype bit = counter > 0
+//      (p.insert packs 32 sign bits per word on Wolf).
+//
+// Both loops are data-parallel over components, so they distribute across
+// cores exactly like the encoders. The functional update is performed on a
+// caller-provided accumulator so the kernel stays bit-exact with
+// hd::IntegerAssociativeMemory / hd::BundleAccumulator semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "sim/cluster.hpp"
+#include "sim/runtime.hpp"
+
+namespace pulphd::kernels {
+
+struct TrainingRun {
+  std::uint64_t accumulate_cycles = 0;
+  std::uint64_t threshold_cycles = 0;
+  std::uint64_t overhead_cycles = 0;  ///< fork/join + barrier
+  std::uint64_t total() const noexcept {
+    return accumulate_cycles + threshold_cycles + overhead_cycles;
+  }
+};
+
+/// Runs one online update on the simulated cluster: accumulates the packed
+/// `encoded` example (dim components) into `counters` (+-1 voting,
+/// saturating at int16 rails) and rewrites `prototype` (packed words) with
+/// the counter signs.
+TrainingRun online_update(const sim::ClusterConfig& cluster, std::size_t dim,
+                          std::span<const Word> encoded,
+                          std::span<std::int16_t> counters,
+                          std::span<Word> prototype);
+
+}  // namespace pulphd::kernels

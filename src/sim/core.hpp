@@ -1,0 +1,62 @@
+// Per-core cycle accounting.
+//
+// A CoreContext is handed to kernel code running "on" one simulated core.
+// The kernel performs its real computation on host memory and charges every
+// primitive operation here; the context multiplies by the core's cost table
+// and accumulates cycles. L1 accesses are additionally scaled by the TCDM
+// bank-contention factor of the active cluster configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/isa.hpp"
+
+namespace pulphd::sim {
+
+class CoreContext {
+ public:
+  /// `l1_contention` is the average stall factor (>= 1.0) applied to L1
+  /// accesses under multi-core banking conflicts; 1.0 for a single core.
+  CoreContext(const IsaCostTable& isa, double l1_contention) noexcept
+      : isa_(&isa), l1_contention_(l1_contention) {}
+
+  const IsaCostTable& isa() const noexcept { return *isa_; }
+
+  // -- charge primitives ----------------------------------------------------
+  void alu(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->alu; }
+  void mul(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->mul; }
+  void branch_taken(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->branch_taken; }
+  void loop_iters(std::uint64_t n) noexcept { cycles_ += n * isa_->loop_iter; }
+  void addr_update(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->addr_update; }
+  void load_imm32(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->load_imm32; }
+  void popcount(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->popcount_cost(); }
+  void bit_extract(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->bit_extract_cost(); }
+  void bit_insert(std::uint64_t n = 1) noexcept { cycles_ += n * isa_->bit_insert_cost(); }
+
+  void load_l1(std::uint64_t n = 1) noexcept { charge_l1(n * isa_->load_l1); }
+  void store_l1(std::uint64_t n = 1) noexcept { charge_l1(n * isa_->store_l1); }
+
+  /// Raw cycle charge for costs computed elsewhere (e.g. runtime overheads).
+  void raw_cycles(std::uint64_t n) noexcept { cycles_ += n; }
+
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  void reset() noexcept { cycles_ = 0; fractional_ = 0.0; }
+
+ private:
+  void charge_l1(std::uint64_t base) noexcept {
+    // Accumulate the fractional contention penalty exactly, releasing whole
+    // cycles as they complete — keeps long runs unbiased without floating
+    // the entire account.
+    const double total = static_cast<double>(base) * l1_contention_ + fractional_;
+    const auto whole = static_cast<std::uint64_t>(total);
+    cycles_ += whole;
+    fractional_ = total - static_cast<double>(whole);
+  }
+
+  const IsaCostTable* isa_;
+  double l1_contention_;
+  std::uint64_t cycles_ = 0;
+  double fractional_ = 0.0;
+};
+
+}  // namespace pulphd::sim

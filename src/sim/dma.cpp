@@ -1,0 +1,37 @@
+#include "sim/dma.hpp"
+
+#include <algorithm>
+
+namespace pulphd::sim {
+
+std::uint64_t DoubleBufferTimeline::overlapped_cycles() const noexcept {
+  if (tiles_.empty()) return 0;
+  // First transfer is fully exposed; afterwards tile i's compute overlaps
+  // tile i+1's transfer, so each step costs the slower of the two.
+  std::uint64_t total = tiles_.front().transfer;
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const std::uint64_t next_transfer = (i + 1 < tiles_.size()) ? tiles_[i + 1].transfer : 0;
+    total += std::max(tiles_[i].compute, next_transfer);
+  }
+  return total;
+}
+
+std::uint64_t DoubleBufferTimeline::serialized_cycles() const noexcept {
+  std::uint64_t total = 0;
+  for (const Tile& t : tiles_) total += t.transfer + t.compute;
+  return total;
+}
+
+std::uint64_t DoubleBufferTimeline::total_transfer_cycles() const noexcept {
+  std::uint64_t total = 0;
+  for (const Tile& t : tiles_) total += t.transfer;
+  return total;
+}
+
+std::uint64_t DoubleBufferTimeline::total_compute_cycles() const noexcept {
+  std::uint64_t total = 0;
+  for (const Tile& t : tiles_) total += t.compute;
+  return total;
+}
+
+}  // namespace pulphd::sim

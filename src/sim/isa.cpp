@@ -1,0 +1,131 @@
+#include "sim/isa.hpp"
+
+namespace pulphd::sim {
+
+std::string_view core_kind_name(CoreKind kind) noexcept {
+  switch (kind) {
+    case CoreKind::kPulpV3Or1k: return "PULPv3 (OR1K)";
+    case CoreKind::kWolfRv32: return "Wolf (RV32)";
+    case CoreKind::kWolfRv32Builtin: return "Wolf (RV32 + built-ins)";
+    case CoreKind::kArmCortexM4: return "ARM Cortex-M4";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// PULPv3 OpenRISC cluster core [26].
+// In-order single-issue; TCDM loads are single-cycle; no hardware loops, so
+// every loop iteration pays an l.addi + l.bf pair (2 cycles); no
+// post-increment addressing, so strided walks pay an explicit pointer add;
+// no popcount or bit-field instructions: (w >> b) & 1 costs a shift and a
+// mask, setting a bit costs shift+or plus mask materialization, and a
+// 32-bit popcount uses the 16-op SWAR sequence. Taken branches cost one
+// bubble. 32-bit immediates need l.movhi + l.ori.
+// ---------------------------------------------------------------------------
+constexpr IsaCostTable kPulpV3{
+    .alu = 1,
+    .mul = 1,
+    .load_l1 = 1,
+    .store_l1 = 1,
+    .branch_taken = 1,
+    // l.addi + l.sfltu + l.bf per iteration (no hardware loops, and the
+    // OR1K compare-and-branch idiom needs a separate flag-setting compare).
+    .loop_iter = 3,
+    .addr_update = 1,
+    .has_popcount = false,
+    .has_bitfield = false,
+    .shift_and = 2,
+    .insert_emulated = 3,
+    .swar_popcount_ops = 16,
+    .load_imm32 = 2,
+};
+
+// ---------------------------------------------------------------------------
+// Wolf RISC-V core (RI5CY/CV32E40P ancestor [6]) running plain ANSI C.
+// The paper attributes the 1.23x single-core gain over PULPv3 to "the
+// optimized RISC-V ISA and compiler": hardware loops remove the
+// counter/branch pair from *innermost regular* loops and post-increment
+// loads fold pointer updates where the compiler can prove the access
+// pattern. The irregular multi-operand walks of the HD kernels keep a
+// 2-cycle loop residue and explicit index arithmetic; without built-ins
+// the bit-level costs match PULPv3.
+// ---------------------------------------------------------------------------
+constexpr IsaCostTable kWolfRv32{
+    .alu = 1,
+    .mul = 1,
+    .load_l1 = 1,
+    .store_l1 = 1,
+    .branch_taken = 1,
+    // RISC-V fuses compare-and-branch, so plain loops cost addi+bne = 2;
+    // hardware loops only engage for the compiler-recognized innermost
+    // counted loops, and the multi-array strided walks of the HD kernels
+    // keep explicit index arithmetic (hence addr_update = 1 like PULPv3).
+    .loop_iter = 2,
+    .addr_update = 1,
+    .has_popcount = false,
+    .has_bitfield = false,
+    .shift_and = 2,
+    .insert_emulated = 3,
+    .swar_popcount_ops = 16,
+    .load_imm32 = 1,
+};
+
+// Wolf with the XpulpV2 built-ins of §5.1: p.extractu, p.insert and p.cnt
+// all retire in one cycle.
+constexpr IsaCostTable kWolfRv32Builtin{
+    .alu = 1,
+    .mul = 1,
+    .load_l1 = 1,
+    .store_l1 = 1,
+    .branch_taken = 1,
+    .loop_iter = 2,
+    .addr_update = 1,
+    .has_popcount = true,
+    .has_bitfield = true,
+    .shift_and = 2,
+    .insert_emulated = 3,
+    .swar_popcount_ops = 16,
+    .load_imm32 = 1,
+};
+
+// ---------------------------------------------------------------------------
+// ARM Cortex-M4 (STM32F407 board). Thumb-2: the barrel shifter folds the
+// shift of (w >> b) & 1 into the AND (the "load and shift" advantage the
+// paper names in §4.2), MOVW/MOVT materializes 32-bit immediates cheaply,
+// and pre/post-indexed addressing folds pointer updates. Loads cost 2
+// cycles but pipeline back-to-back; we charge 1 like the single-cycle TCDM
+// and let the taken-branch cost (≈3 on the M4's 3-stage pipeline, charged
+// as 2 amortized) and loop overhead carry the difference. No popcount.
+// ---------------------------------------------------------------------------
+constexpr IsaCostTable kArmCortexM4{
+    .alu = 1,
+    .mul = 1,
+    .load_l1 = 1,
+    .store_l1 = 1,
+    .branch_taken = 2,
+    // subs + bne where the taken branch refills the 3-stage pipeline.
+    .loop_iter = 3,
+    .addr_update = 0,
+    .has_popcount = false,
+    .has_bitfield = false,
+    .shift_and = 1,
+    .insert_emulated = 2,
+    .swar_popcount_ops = 16,
+    .load_imm32 = 1,
+};
+
+}  // namespace
+
+const IsaCostTable& isa_costs(CoreKind kind) noexcept {
+  switch (kind) {
+    case CoreKind::kPulpV3Or1k: return kPulpV3;
+    case CoreKind::kWolfRv32: return kWolfRv32;
+    case CoreKind::kWolfRv32Builtin: return kWolfRv32Builtin;
+    case CoreKind::kArmCortexM4: return kArmCortexM4;
+  }
+  return kPulpV3;  // unreachable; keeps -Wreturn-type quiet
+}
+
+}  // namespace pulphd::sim

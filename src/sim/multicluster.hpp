@@ -1,0 +1,46 @@
+// Multi-cluster scaling model — the paper's closing direction: savings
+// "linearly benefit from a large number of cores paving the way for the
+// development of future HD-centric accelerators" (§1/§6).
+//
+// Extends the single-cluster model to C clusters of K cores each, PULP
+// style: clusters share L2, each has a private TCDM and DMA; work is
+// partitioned across clusters at the outer level and across cores inside
+// each cluster. Costs added on top of the single-cluster makespan:
+//   * an inter-cluster fork/join (done in software over L2 mailboxes);
+//   * an inter-cluster reduction step for the AM kernel's partial
+//     distances (log2(C) exchange rounds over L2);
+//   * L2 bandwidth sharing: concurrent DMA streams contend for the same
+//     AXI port, scaling transfer time by the active-cluster count.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cluster.hpp"
+
+namespace pulphd::sim {
+
+struct MultiClusterConfig {
+  ClusterConfig cluster;          ///< the per-cluster building block
+  std::uint32_t clusters = 1;
+
+  /// Cycles to start + join work on all clusters over L2 (per chain run).
+  std::uint32_t intercluster_fork_join = 2500;
+  /// Cycles per inter-cluster reduction exchange round (L2 round-trip).
+  std::uint32_t reduction_round_cycles = 400;
+
+  std::uint32_t total_cores() const noexcept { return clusters * cluster.cores; }
+
+  /// Makespan of a chain whose single-cluster breakdown is
+  /// (map_encode, am, dma_transfer): the encoder partitions perfectly
+  /// across clusters, the AM reduction adds log2(C) rounds, and the DMA
+  /// share that was hidden stays hidden only while L2 bandwidth holds.
+  struct Estimate {
+    std::uint64_t map_encode = 0;
+    std::uint64_t am = 0;
+    std::uint64_t total() const noexcept { return map_encode + am; }
+  };
+  Estimate scale(std::uint64_t single_cluster_map_encode, std::uint64_t single_cluster_am,
+                 std::uint64_t dma_transfer_total) const;
+};
+
+}  // namespace pulphd::sim

@@ -1,0 +1,75 @@
+#include "sim/power.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace pulphd::sim {
+
+PowerModel PowerModel::pulpv3() {
+  PowerModel m;
+  m.name_ = "PULPv3";
+  m.fll_mw_ = 1.45;
+  m.soc_mw_per_mhz_ = 0.87 / 53.3;            // 16.3 uW/MHz (Table 2, row 2)
+  m.cluster_base_mw_per_mhz_ = 0.02702;        // fitted: rows 2-3 of Table 2
+  m.cluster_core_mw_per_mhz_ = 0.00863;
+  m.nominal_voltage_ = 0.7;
+  m.voltage_exponent_ = 2.2;                   // fits the 0.5 V row (0.42 mW)
+  m.max_freq_mhz_ = 150.0;                     // near-threshold cluster ceiling
+  return m;
+}
+
+PowerModel PowerModel::pulpv3_lowpower_fll() {
+  PowerModel m = pulpv3();
+  m.name_ = "PULPv3 + low-power FLL";
+  m.fll_mw_ /= 4.0;  // "would reduce the clock generation power by 4x" (§4.2)
+  return m;
+}
+
+PowerModel PowerModel::wolf() {
+  PowerModel m = pulpv3();
+  m.name_ = "Wolf";
+  m.fll_mw_ = 1.45 / 4.0;  // Wolf integrates the newer clock generator [1]
+  m.max_freq_mhz_ = 350.0;
+  return m;
+}
+
+PowerModel PowerModel::arm_cortex_m4() {
+  PowerModel m;
+  m.name_ = "ARM Cortex-M4";
+  m.fll_mw_ = 0.0;
+  m.soc_mw_per_mhz_ = 20.83 / 43.9;  // 474.5 uW/MHz at 1.85 V (Table 2, row 1)
+  m.cluster_base_mw_per_mhz_ = 0.0;
+  m.cluster_core_mw_per_mhz_ = 0.0;
+  m.nominal_voltage_ = 1.85;
+  m.voltage_exponent_ = 2.0;
+  m.max_freq_mhz_ = 168.0;  // STM32F407 ceiling
+  return m;
+}
+
+PowerBreakdown PowerModel::power(std::uint32_t active_cores, const OperatingPoint& op) const {
+  require(active_cores >= 1, "PowerModel::power: needs >= 1 active core");
+  require(op.freq_mhz > 0.0, "PowerModel::power: frequency must be positive");
+  PowerBreakdown p;
+  p.fll_mw = fll_mw_;
+  p.soc_mw = soc_mw_per_mhz_ * op.freq_mhz;
+  const double voltage_scale =
+      std::pow(op.voltage / nominal_voltage_, voltage_exponent_);
+  p.cluster_mw =
+      (cluster_base_mw_per_mhz_ + cluster_core_mw_per_mhz_ * active_cores) *
+      op.freq_mhz * voltage_scale;
+  return p;
+}
+
+double PowerModel::energy_uj(std::uint64_t cycles, std::uint32_t active_cores,
+                             const OperatingPoint& op) const {
+  const double seconds = static_cast<double>(cycles) / (op.freq_mhz * 1e6);
+  return power(active_cores, op).total_mw() * seconds * 1e3;  // mW * s = mJ -> uJ via *1e3
+}
+
+double PowerModel::required_freq_mhz(std::uint64_t cycles, double latency_ms) {
+  require(latency_ms > 0.0, "required_freq_mhz: latency must be positive");
+  return static_cast<double>(cycles) / (latency_ms * 1e3);  // cycles / (ms * 1e3) = MHz
+}
+
+}  // namespace pulphd::sim

@@ -1,0 +1,30 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+
+namespace pulphd::sim {
+
+double RegionResult::balance() const noexcept {
+  if (per_core_cycles.empty()) return 1.0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t c : per_core_cycles) {
+    sum += c;
+    if (c > max) max = c;
+  }
+  if (max == 0) return 1.0;
+  return static_cast<double>(sum) /
+         (static_cast<double>(max) * static_cast<double>(per_core_cycles.size()));
+}
+
+std::pair<std::size_t, std::size_t> static_chunk(std::size_t total, std::uint32_t cores,
+                                                 std::uint32_t core_id) noexcept {
+  if (cores == 0) return {0, 0};
+  const std::size_t base = total / cores;
+  const std::size_t remainder = total % cores;
+  const std::size_t begin = core_id * base + std::min<std::size_t>(core_id, remainder);
+  const std::size_t size = base + (core_id < remainder ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace pulphd::sim

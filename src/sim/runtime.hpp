@@ -1,0 +1,80 @@
+// OpenMP-like parallel execution model.
+//
+// The paper parallelizes each kernel with `#pragma omp parallel for`-style
+// static work distribution (Fig. 2 right). Here a parallel region executes
+// the body once per simulated core over a static partition of the iteration
+// space; the region's makespan is the slowest core's cycle count plus the
+// runtime's fork/join overhead. This is what makes the AM kernel's speed-up
+// saturate in Table 3 while MAP+ENCODERS stays near-ideal: the overhead is
+// constant but the AM workload is small.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/core.hpp"
+
+namespace pulphd::sim {
+
+/// Outcome of one parallel region. The fork/join cost is reported
+/// separately so callers can charge it once per kernel when several
+/// work-sharing loops live inside a single `omp parallel` (the paper's
+/// structure, Fig. 2 right).
+struct RegionResult {
+  std::uint64_t makespan_cycles = 0;          ///< slowest core's compute cycles
+  std::uint64_t overhead_cycles = 0;          ///< fork/join cost if charged standalone
+  std::vector<std::uint64_t> per_core_cycles; ///< compute cycles per core
+
+  /// Busy fraction: mean core cycles / max core cycles (1.0 = perfectly
+  /// balanced).
+  double balance() const noexcept;
+};
+
+/// Static contiguous partition of [0, total) across `cores` workers; the
+/// remainder is spread one extra item to the lowest core ids, exactly like
+/// OpenMP's static schedule.
+std::pair<std::size_t, std::size_t> static_chunk(std::size_t total, std::uint32_t cores,
+                                                 std::uint32_t core_id) noexcept;
+
+class ParallelRuntime {
+ public:
+  explicit ParallelRuntime(const ClusterConfig& cluster) : cluster_(&cluster) {}
+
+  const ClusterConfig& cluster() const noexcept { return *cluster_; }
+
+  /// Runs `body(ctx, begin, end)` once per core over a static partition of
+  /// [0, total). The body must charge all its work to `ctx`. Cores whose
+  /// chunk is empty are still woken (they pay the region overhead as part
+  /// of the makespan, as in a real fork/join).
+  template <typename Body>
+  RegionResult parallel_for(std::size_t total, Body&& body) const {
+    RegionResult result;
+    result.per_core_cycles.reserve(cluster_->cores);
+    std::uint64_t slowest = 0;
+    for (std::uint32_t core = 0; core < cluster_->cores; ++core) {
+      CoreContext ctx(cluster_->isa(), cluster_->l1_contention());
+      const auto [begin, end] = static_chunk(total, cluster_->cores, core);
+      if (begin < end) body(ctx, begin, end);
+      result.per_core_cycles.push_back(ctx.cycles());
+      if (ctx.cycles() > slowest) slowest = ctx.cycles();
+    }
+    result.overhead_cycles = cluster_->cores > 1 ? cluster_->fork_join_cycles : 0;
+    result.makespan_cycles = slowest;
+    return result;
+  }
+
+  /// Runs `body(ctx)` on core 0 only (serial section).
+  template <typename Body>
+  std::uint64_t serial(Body&& body) const {
+    CoreContext ctx(cluster_->isa(), 1.0);
+    body(ctx);
+    return ctx.cycles();
+  }
+
+ private:
+  const ClusterConfig* cluster_;
+};
+
+}  // namespace pulphd::sim

@@ -1,0 +1,57 @@
+#include "svm/features.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace pulphd::svm {
+
+std::vector<FeatureVector> extract_window_features(const hd::Trial& trial,
+                                                   const WindowConfig& config) {
+  require(config.window_samples >= 1, "extract_window_features: empty window");
+  require(config.stride_samples >= 1, "extract_window_features: zero stride");
+  require(config.normalization > 0, "extract_window_features: bad normalization");
+  std::vector<FeatureVector> out;
+  if (trial.size() < config.window_samples) return out;
+  const std::size_t channels = trial.front().size();
+  for (std::size_t start = 0; start + config.window_samples <= trial.size();
+       start += config.stride_samples) {
+    FeatureVector f(channels, 0.0);
+    for (std::size_t i = 0; i < config.window_samples; ++i) {
+      const hd::Sample& s = trial[start + i];
+      require(s.size() == channels, "extract_window_features: ragged trial");
+      for (std::size_t c = 0; c < channels; ++c) f[c] += s[c];
+    }
+    for (double& v : f) {
+      v /= static_cast<double>(config.window_samples) * config.normalization;
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+TrainingSet build_training_set(const std::vector<const hd::Trial*>& trials,
+                               const std::vector<std::size_t>& labels,
+                               const WindowConfig& config) {
+  require(trials.size() == labels.size(), "build_training_set: size mismatch");
+  TrainingSet set;
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    for (auto& f : extract_window_features(*trials[t], config)) {
+      set.features.push_back(std::move(f));
+      set.labels.push_back(labels[t]);
+    }
+  }
+  return set;
+}
+
+std::size_t predict_trial(const MulticlassSvm& model, const hd::Trial& trial,
+                          const WindowConfig& config) {
+  const std::vector<FeatureVector> windows = extract_window_features(trial, config);
+  require(!windows.empty(), "predict_trial: trial shorter than one window");
+  std::vector<std::size_t> votes(model.classes(), 0);
+  for (const FeatureVector& f : windows) ++votes[model.predict(f)];
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace pulphd::svm

@@ -1,0 +1,44 @@
+// Feature extraction for the SVM baseline.
+//
+// The paper fixes "the dimension of the SVs ... to four as the number of
+// input channels" (§4.1): each feature vector is the mean amplitude
+// envelope per channel over a short analysis window, normalized to [0, 1].
+// A trial is classified by majority vote over its windows — the standard
+// windowed protocol of the EMG literature [3, 15].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hd/classifier.hpp"  // hd::Trial
+#include "svm/svm.hpp"
+
+namespace pulphd::svm {
+
+struct WindowConfig {
+  std::size_t window_samples = 100;  ///< 200 ms at 500 Hz
+  std::size_t stride_samples = 50;   ///< 50% overlap
+  double normalization = 21.0;       ///< divide by the envelope ceiling (mV)
+};
+
+/// Mean-amplitude feature vectors of every complete window of a trial.
+/// Output dimension = channel count; values in [0, ~1].
+std::vector<FeatureVector> extract_window_features(const hd::Trial& trial,
+                                                   const WindowConfig& config);
+
+/// Builds the SVM training set from labeled trials: all windows of all
+/// trials, each window inheriting its trial's label.
+struct TrainingSet {
+  std::vector<FeatureVector> features;
+  std::vector<std::size_t> labels;
+};
+TrainingSet build_training_set(const std::vector<const hd::Trial*>& trials,
+                               const std::vector<std::size_t>& labels,
+                               const WindowConfig& config);
+
+/// Classifies a trial by majority vote of its windows' predictions (ties
+/// resolved toward the lowest label for determinism).
+std::size_t predict_trial(const MulticlassSvm& model, const hd::Trial& trial,
+                          const WindowConfig& config);
+
+}  // namespace pulphd::svm

@@ -1,0 +1,130 @@
+#include "svm/fixed_point_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+#include "sim/isa.hpp"
+
+namespace pulphd::svm {
+
+namespace {
+constexpr double kLutRange = 8.0;  // exp(-u) ~ 3e-4 at u = 8; tail clamps to 0
+}
+
+const std::array<Q15, 256>& exp_lut() {
+  static const std::array<Q15, 256> table = [] {
+    std::array<Q15, 256> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double u = (static_cast<double>(i) + 0.5) * kLutRange / 256.0;
+      t[i] = Q15::from_double(std::exp(-u));
+    }
+    return t;
+  }();
+  return table;
+}
+
+int QuantizedBinarySvm::decision_sign(std::span<const Q15> x) const {
+  std::int64_t acc_q30 = bias_q30;
+  for (std::size_t s = 0; s < support_vectors.size(); ++s) {
+    const auto& sv = support_vectors[s];
+    require(sv.size() == x.size(), "QuantizedBinarySvm: dimension mismatch");
+    // Squared distance in Q30.
+    std::int64_t dist2_q30 = 0;
+    for (std::size_t d = 0; d < sv.size(); ++d) {
+      const std::int32_t diff = static_cast<std::int32_t>(x[d].raw()) - sv[d].raw();
+      dist2_q30 += static_cast<std::int64_t>(diff) * diff;
+    }
+    // u = gamma * dist2; LUT index = u / kLutRange * 256.
+    const double gamma_scaled = rbf_gamma * 256.0 / kLutRange;
+    const std::int64_t idx64 =
+        (dist2_q30 * static_cast<std::int64_t>(std::llround(gamma_scaled * 16.0))) >>
+        (30 + 4);
+    const std::size_t idx = static_cast<std::size_t>(std::clamp<std::int64_t>(idx64, 0, 255));
+    const Q15 kernel_value = exp_lut()[idx];
+    acc_q30 += static_cast<std::int64_t>(alpha_y[s].raw()) * kernel_value.raw();
+  }
+  return acc_q30 >= 0 ? +1 : -1;
+}
+
+QuantizedMulticlassSvm QuantizedMulticlassSvm::from_model(const MulticlassSvm& model) {
+  QuantizedMulticlassSvm q;
+  q.classes_ = model.classes();
+  std::size_t machine_index = 0;
+  for (std::size_t a = 0; a < model.classes(); ++a) {
+    for (std::size_t b = a + 1; b < model.classes(); ++b) {
+      q.pairs_.emplace_back(a, b);
+      const BinarySvm& m = model.machines()[machine_index++];
+      QuantizedBinarySvm qm;
+      qm.rbf_gamma = m.kernel.rbf_gamma;
+      double alpha_max = 1e-12;
+      for (const double ay : m.alpha_y) alpha_max = std::max(alpha_max, std::fabs(ay));
+      qm.alpha_scale = alpha_max;
+      for (std::size_t s = 0; s < m.support_vectors.size(); ++s) {
+        std::vector<Q15> sv;
+        sv.reserve(m.support_vectors[s].size());
+        for (const double v : m.support_vectors[s]) sv.push_back(Q15::from_double(v));
+        qm.support_vectors.push_back(std::move(sv));
+        qm.alpha_y.push_back(Q15::from_double(m.alpha_y[s] / alpha_max));
+      }
+      qm.bias_q30 =
+          static_cast<std::int64_t>(std::llround(m.bias / alpha_max * (1LL << 30)));
+      q.machines_.push_back(std::move(qm));
+    }
+  }
+  return q;
+}
+
+std::size_t QuantizedMulticlassSvm::predict(std::span<const double> features) const {
+  check_invariant(!machines_.empty(), "QuantizedMulticlassSvm::predict: empty model");
+  std::vector<Q15> x;
+  x.reserve(features.size());
+  for (const double v : features) x.push_back(Q15::from_double(v));
+  std::vector<std::size_t> votes(classes_, 0);
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    const auto [a, b] = pairs_[m];
+    ++votes[machines_[m].decision_sign(x) > 0 ? a : b];
+  }
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::size_t QuantizedMulticlassSvm::total_support_vectors() const noexcept {
+  std::size_t total = 0;
+  for (const auto& m : machines_) total += m.support_vectors.size();
+  return total;
+}
+
+namespace {
+std::uint64_t machine_cycles(std::size_t svs, std::size_t dims,
+                             const sim::IsaCostTable& isa) {
+  // Per support vector: a dims-term loop of {ld x[d], ld sv[d], sub,
+  // square-MAC} plus loop bookkeeping, then the exponential LUT (index
+  // arithmetic: shift + clamp + table load + interpolation multiply) and
+  // the alpha multiply-accumulate.
+  const std::uint64_t per_dim = 2 * isa.load_l1 + 2 * isa.alu + isa.mul + isa.loop_iter;
+  const std::uint64_t exp_lut_cost = 4 * isa.alu + isa.load_l1 + isa.mul;
+  const std::uint64_t per_sv = dims * per_dim + exp_lut_cost + isa.load_l1 + isa.mul +
+                               isa.alu + isa.loop_iter;
+  const std::uint64_t setup = 4 * isa.alu + isa.load_imm32;
+  return setup + svs * per_sv;
+}
+}  // namespace
+
+std::uint64_t m4_inference_cycles(const QuantizedMulticlassSvm& model, std::size_t dims) {
+  const auto& isa = sim::isa_costs(sim::CoreKind::kArmCortexM4);
+  std::uint64_t total = 0;
+  for (const auto& m : model.machines()) {
+    total += machine_cycles(m.support_vectors.size(), dims, isa);
+  }
+  total += model.machines().size() * 3 * isa.alu;  // voting epilogue
+  return total;
+}
+
+std::uint64_t m4_inference_cycles_for(std::size_t machines, std::size_t svs_per_machine,
+                                      std::size_t dims) {
+  const auto& isa = sim::isa_costs(sim::CoreKind::kArmCortexM4);
+  return machines * (machine_cycles(svs_per_machine, dims, isa) + 3 * isa.alu);
+}
+
+}  // namespace pulphd::svm

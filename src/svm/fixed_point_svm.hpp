@@ -1,0 +1,67 @@
+// Q15 fixed-point SVM inference and its Cortex-M4 cycle model.
+//
+// "For SVM, a fixed-point approach is used to avoid all the computation
+// needed to be executed in the floating-point. It is already demonstrated
+// [13] that this approach leads to best performance preserving the
+// accuracy." (§4.1). Features live in [0, 1] and quantize directly to Q15;
+// alphas are scaled by their maximum magnitude (scaling the decision
+// function by a positive constant leaves the sign, hence the vote,
+// unchanged); the RBF exponential becomes a 256-entry Q15 look-up over
+// exp(-u), u in [0, 8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "svm/svm.hpp"
+
+namespace pulphd::svm {
+
+/// One quantized binary machine.
+struct QuantizedBinarySvm {
+  std::vector<std::vector<Q15>> support_vectors;
+  std::vector<Q15> alpha_y;   ///< alpha_i * y_i / alpha_scale
+  std::int64_t bias_q30 = 0;  ///< bias / alpha_scale, in Q30
+  double alpha_scale = 1.0;   ///< positive; recorded for diagnostics
+  double rbf_gamma = 2.0;
+
+  /// Sign of the decision function computed entirely in fixed point.
+  /// Returns +1 or -1 (0 counts as +1, matching the double path's >= 0).
+  int decision_sign(std::span<const Q15> x) const;
+};
+
+/// Fixed-point one-vs-one model mirroring a trained MulticlassSvm.
+class QuantizedMulticlassSvm {
+ public:
+  /// Quantizes a trained RBF/linear one-vs-one model.
+  static QuantizedMulticlassSvm from_model(const MulticlassSvm& model);
+
+  std::size_t predict(std::span<const double> features) const;
+
+  std::size_t classes() const noexcept { return classes_; }
+  std::size_t total_support_vectors() const noexcept;
+  const std::vector<QuantizedBinarySvm>& machines() const noexcept { return machines_; }
+
+ private:
+  std::size_t classes_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
+  std::vector<QuantizedBinarySvm> machines_;
+};
+
+/// The shared exp(-u) Q15 look-up table (256 entries over u in [0, 8)).
+const std::array<Q15, 256>& exp_lut();
+
+/// Cycle cost of one fixed-point multiclass inference on the ARM Cortex-M4
+/// (the Table 1 row): per support vector, a `dims`-term Q15 distance MAC
+/// loop, the LUT exponential and the alpha multiply-accumulate; plus
+/// per-machine setup and the voting epilogue.
+std::uint64_t m4_inference_cycles(const QuantizedMulticlassSvm& model, std::size_t dims);
+
+/// Same model with every machine's SV count overridden — used to report the
+/// paper-parity configuration (55 SVs per machine) next to the measured one.
+std::uint64_t m4_inference_cycles_for(std::size_t machines, std::size_t svs_per_machine,
+                                      std::size_t dims);
+
+}  // namespace pulphd::svm

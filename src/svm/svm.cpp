@@ -1,0 +1,201 @@
+#include "svm/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace pulphd::svm {
+
+double KernelConfig::operator()(std::span<const double> x, std::span<const double> z) const {
+  require(x.size() == z.size(), "KernelConfig: dimension mismatch");
+  switch (type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * z[i];
+      return dot;
+    }
+    case KernelType::kRbf: {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - z[i];
+        dist2 += d * d;
+      }
+      return std::exp(-rbf_gamma * dist2);
+    }
+  }
+  return 0.0;
+}
+
+double BinarySvm::decision(std::span<const double> x) const {
+  double f = bias;
+  for (std::size_t i = 0; i < support_vectors.size(); ++i) {
+    f += alpha_y[i] * kernel(support_vectors[i], x);
+  }
+  return f;
+}
+
+BinarySvm train_binary(std::span<const FeatureVector> x, std::span<const int> y,
+                       const KernelConfig& kernel, const SmoConfig& smo) {
+  require(x.size() == y.size(), "train_binary: feature/label count mismatch");
+  require(x.size() >= 2, "train_binary: needs at least two examples");
+  for (const int label : y) {
+    require(label == 1 || label == -1, "train_binary: labels must be +-1");
+  }
+  const std::size_t n = x.size();
+
+  // Precompute the kernel matrix; the training sets here are small
+  // (hundreds of windows), so O(n^2) memory is the right trade.
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(x[i], x[j]);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  const auto f_of = [&](std::size_t i) {
+    double f = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) f += alpha[j] * y[j] * k[j * n + i];
+    }
+    return f;
+  };
+
+  Xoshiro256StarStar rng(smo.seed);
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < smo.max_passes && iterations < smo.max_iterations) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n && iterations < smo.max_iterations; ++i) {
+      ++iterations;
+      const double ei = f_of(i) - y[i];
+      const bool violates = (y[i] * ei < -smo.tolerance && alpha[i] < smo.c) ||
+                            (y[i] * ei > smo.tolerance && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = static_cast<std::size_t>(rng.next_below(n - 1));
+      if (j >= i) ++j;
+      const double ej = f_of(j) - y[j];
+
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo = 0.0;
+      double hi = 0.0;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(smo.c, smo.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - smo.c);
+        hi = std::min(smo.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - y[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::fabs(aj - aj_old) < 1e-6) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - ei - y[i] * (ai - ai_old) * k[i * n + i] -
+                        y[j] * (aj - aj_old) * k[i * n + j];
+      const double b2 = b - ej - y[i] * (ai - ai_old) * k[i * n + j] -
+                        y[j] * (aj - aj_old) * k[j * n + j];
+      if (ai > 0.0 && ai < smo.c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < smo.c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  BinarySvm model;
+  model.kernel = kernel;
+  model.bias = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) {
+      model.support_vectors.push_back(x[i]);
+      model.alpha_y.push_back(alpha[i] * y[i]);
+    }
+  }
+  return model;
+}
+
+MulticlassSvm MulticlassSvm::train(std::span<const FeatureVector> x,
+                                   std::span<const std::size_t> labels, std::size_t classes,
+                                   const KernelConfig& kernel, const SmoConfig& smo) {
+  require(x.size() == labels.size(), "MulticlassSvm::train: size mismatch");
+  require(classes >= 2, "MulticlassSvm::train: needs >= 2 classes");
+  for (const std::size_t l : labels) {
+    require(l < classes, "MulticlassSvm::train: label out of range");
+  }
+
+  MulticlassSvm model;
+  model.classes_ = classes;
+  for (std::size_t a = 0; a < classes; ++a) {
+    for (std::size_t bcls = a + 1; bcls < classes; ++bcls) {
+      std::vector<FeatureVector> xs;
+      std::vector<int> ys;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (labels[i] == a) {
+          xs.push_back(x[i]);
+          ys.push_back(+1);
+        } else if (labels[i] == bcls) {
+          xs.push_back(x[i]);
+          ys.push_back(-1);
+        }
+      }
+      require(!xs.empty(), "MulticlassSvm::train: empty class pair " + std::to_string(a) +
+                               "/" + std::to_string(bcls));
+      model.pairs_.emplace_back(a, bcls);
+      model.machines_.push_back(train_binary(xs, ys, kernel, smo));
+    }
+  }
+  return model;
+}
+
+std::size_t MulticlassSvm::predict(std::span<const double> x) const {
+  check_invariant(!machines_.empty(), "MulticlassSvm::predict: untrained model");
+  std::vector<std::size_t> votes(classes_, 0);
+  std::vector<double> score(classes_, 0.0);
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    const double f = machines_[m].decision(x);
+    const auto [a, b] = pairs_[m];
+    const std::size_t winner = f >= 0.0 ? a : b;
+    ++votes[winner];
+    score[winner] += std::fabs(f);
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < classes_; ++c) {
+    if (votes[c] > votes[best] || (votes[c] == votes[best] && score[c] > score[best])) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t MulticlassSvm::total_support_vectors() const noexcept {
+  std::size_t total = 0;
+  for (const auto& m : machines_) total += m.support_vectors.size();
+  return total;
+}
+
+std::size_t MulticlassSvm::max_support_vectors() const noexcept {
+  std::size_t max = 0;
+  for (const auto& m : machines_) max = std::max(max, m.support_vectors.size());
+  return max;
+}
+
+}  // namespace pulphd::svm

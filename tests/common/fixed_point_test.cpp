@@ -1,0 +1,81 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pulphd {
+namespace {
+
+TEST(Q15, ConversionRoundTripError) {
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_uniform(-0.999, 0.999);
+    EXPECT_NEAR(Q15::from_double(x).to_double(), x, 1.0 / 32768.0);
+  }
+}
+
+TEST(Q15, SaturatesAtRails) {
+  EXPECT_EQ(Q15::from_double(1.5).raw(), 32767);
+  EXPECT_EQ(Q15::from_double(-2.0).raw(), -32768);
+  EXPECT_EQ(Q15::from_double(1e9).raw(), 32767);
+  EXPECT_EQ(Q15::from_double(-1e9).raw(), -32768);
+}
+
+TEST(Q15, ZeroAndKnownValues) {
+  EXPECT_EQ(Q15::from_double(0.0).raw(), 0);
+  EXPECT_EQ(Q15::from_double(0.5).raw(), 16384);
+  EXPECT_EQ(Q15::from_double(-0.5).raw(), -16384);
+  EXPECT_EQ(Q15::from_double(0.25).raw(), 8192);
+}
+
+TEST(Q15, AdditionSaturates) {
+  const Q15 big = Q15::from_double(0.9);
+  EXPECT_EQ((big + big).raw(), 32767);
+  const Q15 small = Q15::from_double(-0.9);
+  EXPECT_EQ((small + small).raw(), -32768);
+}
+
+TEST(Q15, AdditionIsAccurateInRange) {
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.next_uniform(-0.4, 0.4);
+    const double b = rng.next_uniform(-0.4, 0.4);
+    const Q15 sum = Q15::from_double(a) + Q15::from_double(b);
+    EXPECT_NEAR(sum.to_double(), a + b, 2.0 / 32768.0);
+  }
+}
+
+TEST(Q15, MultiplicationMatchesDouble) {
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.next_uniform(-0.99, 0.99);
+    const double b = rng.next_uniform(-0.99, 0.99);
+    const Q15 prod = Q15::from_double(a) * Q15::from_double(b);
+    EXPECT_NEAR(prod.to_double(), a * b, 2.0 / 32768.0);
+  }
+}
+
+TEST(Q15, MacAccumulatesWithoutIntermediateRounding) {
+  std::int64_t acc = 0;
+  double ref = 0.0;
+  Xoshiro256StarStar rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.next_uniform(-0.9, 0.9);
+    const double b = rng.next_uniform(-0.9, 0.9);
+    acc = q15_mac(acc, Q15::from_double(a), Q15::from_double(b));
+    ref += a * b;
+  }
+  EXPECT_NEAR(q30_to_double(acc), ref, 0.05);
+}
+
+TEST(Q15, ComparisonOperators) {
+  EXPECT_LT(Q15::from_double(0.1), Q15::from_double(0.2));
+  EXPECT_EQ(Q15::from_double(0.25), Q15::from_double(0.25));
+  EXPECT_GT(Q15::from_double(0.0), Q15::from_double(-0.5));
+}
+
+}  // namespace
+}  // namespace pulphd

@@ -1,0 +1,135 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pulphd {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, DistinctLabelsGiveDistinctSeeds) {
+  const std::uint64_t root = 123;
+  std::set<std::uint64_t> seeds;
+  for (const char* label : {"im", "cim", "dataset", "am-tie-break", "query"}) {
+    seeds.insert(derive_seed(root, label));
+  }
+  EXPECT_EQ(seeds.size(), 5u);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(7, "stream"), derive_seed(7, "stream"));
+  EXPECT_NE(derive_seed(7, "stream"), derive_seed(8, "stream"));
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256StarStar a(99);
+  Xoshiro256StarStar b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256StarStar rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 313ull, 10000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, NextBelowOneIsAlwaysZero) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextBelowCoversRange) {
+  Xoshiro256StarStar rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro, DoubleMeanIsNearHalf) {
+  Xoshiro256StarStar rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliRateMatchesP) {
+  Xoshiro256StarStar rng(2);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Xoshiro, GaussianMomentsAreStandard) {
+  Xoshiro256StarStar rng(23);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256StarStar rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Xoshiro, LongJumpDecorrelatesStreams) {
+  Xoshiro256StarStar a(9);
+  Xoshiro256StarStar b(9);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256StarStar::min() == 0);
+  static_assert(Xoshiro256StarStar::max() == ~std::uint64_t{0});
+  Xoshiro256StarStar rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace pulphd

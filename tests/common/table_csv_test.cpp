@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace pulphd {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t("Align");
+  t.set_header({"a", "b"});
+  t.add_row({"longvalue", "x"});
+  const std::string out = t.render();
+  // The 'b' header must start at the same column as 'x'.
+  std::istringstream lines(out);
+  std::string title, header, rule, row;
+  std::getline(lines, title);
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.find('b'), row.find('x'));
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_cycles_k(533000), "533.00");
+  EXPECT_EQ(fmt_speedup(3.728), "3.73x");
+  EXPECT_EQ(fmt_percent(0.924), "92.40%");
+  EXPECT_EQ(fmt_mw(4.217), "4.22");
+  EXPECT_EQ(fmt_kib(27.0 * 1024), "27.0 kB");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/pulphd_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.add_row({"1", "2"});
+    w.add_row({"3", "4,5"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"4,5\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsColumnMismatch) {
+  const std::string path = ::testing::TempDir() + "/pulphd_csv_test2.csv";
+  CsvWriter w(path, {"only"});
+  EXPECT_THROW(w.add_row({"a", "b"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pulphd

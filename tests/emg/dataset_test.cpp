@@ -1,0 +1,198 @@
+#include "emg/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pulphd::emg {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.subjects = 2;
+  cfg.repetitions = 4;
+  cfg.trial_seconds = 1.0;
+  return cfg;
+}
+
+TEST(Generator, ProducesExpectedTrialCount) {
+  const EmgDataset ds = generate_dataset(small_config());
+  EXPECT_EQ(ds.trials.size(), 2u * kGestureCount * 4u);
+}
+
+TEST(Generator, TrialShapesAreConsistent) {
+  const GeneratorConfig cfg = small_config();
+  const EmgDataset ds = generate_dataset(cfg);
+  for (const EmgTrial& t : ds.trials) {
+    ASSERT_EQ(t.raw.size(), cfg.channels);
+    for (const auto& ch : t.raw) EXPECT_EQ(ch.size(), cfg.samples_per_trial());
+    ASSERT_EQ(t.envelope.size(), cfg.samples_per_trial());
+    for (const auto& sample : t.envelope) EXPECT_EQ(sample.size(), cfg.channels);
+  }
+}
+
+TEST(Generator, IsDeterministic) {
+  const EmgDataset a = generate_dataset(small_config());
+  const EmgDataset b = generate_dataset(small_config());
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].raw, b.trials[i].raw);
+  }
+}
+
+TEST(Generator, SeedChangesData) {
+  GeneratorConfig cfg = small_config();
+  const EmgDataset a = generate_dataset(cfg);
+  cfg.seed ^= 1;
+  const EmgDataset b = generate_dataset(cfg);
+  EXPECT_NE(a.trials[0].raw, b.trials[0].raw);
+}
+
+TEST(Generator, EnvelopesStayInCimRange) {
+  const GeneratorConfig cfg = small_config();
+  const EmgDataset ds = generate_dataset(cfg);
+  for (const EmgTrial& t : ds.trials) {
+    for (const auto& sample : t.envelope) {
+      for (const float v : sample) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, static_cast<float>(cfg.max_amplitude_mv));
+      }
+    }
+  }
+}
+
+TEST(Generator, RestTrialsAreQuiet) {
+  const EmgDataset ds = generate_dataset(small_config());
+  double rest_level = 0.0;
+  double gesture_level = 0.0;
+  std::size_t rest_n = 0;
+  std::size_t gesture_n = 0;
+  for (const EmgTrial& t : ds.trials) {
+    // Mid-trial sample, all channels.
+    const auto& mid = t.envelope[t.envelope.size() / 2];
+    for (const float v : mid) {
+      if (t.label == 0) {
+        rest_level += v;
+        ++rest_n;
+      } else {
+        gesture_level += v;
+        ++gesture_n;
+      }
+    }
+  }
+  rest_level /= static_cast<double>(rest_n);
+  gesture_level /= static_cast<double>(gesture_n);
+  EXPECT_LT(rest_level, 0.35 * gesture_level);
+}
+
+TEST(Generator, GesturesHaveDistinctMidTrialPatterns) {
+  const EmgDataset ds = generate_dataset(small_config());
+  // Average mid-trial envelope per class (subject 0, first repetition).
+  std::vector<std::vector<double>> pattern(kGestureCount);
+  for (const EmgTrial& t : ds.trials) {
+    if (t.subject != 0 || t.repetition != 0) continue;
+    const auto& mid = t.envelope[t.envelope.size() / 2];
+    pattern[t.label].assign(mid.begin(), mid.end());
+  }
+  for (std::size_t a = 1; a < kGestureCount; ++a) {
+    for (std::size_t b = a + 1; b < kGestureCount; ++b) {
+      double diff = 0.0;
+      for (std::size_t c = 0; c < pattern[a].size(); ++c) {
+        diff += std::abs(pattern[a][c] - pattern[b][c]);
+      }
+      EXPECT_GT(diff, 1.0) << "classes " << a << " and " << b << " look identical";
+    }
+  }
+}
+
+TEST(Generator, HardTrialFractionIsRespected) {
+  GeneratorConfig cfg;
+  cfg.subjects = 4;
+  cfg.repetitions = 10;
+  cfg.trial_seconds = 1.0;
+  cfg.hard_trial_fraction = 0.15;
+  const EmgDataset ds = generate_dataset(cfg);
+  std::size_t hard = 0;
+  std::size_t gestures = 0;
+  for (const EmgTrial& t : ds.trials) {
+    if (t.label == 0) {
+      EXPECT_FALSE(t.hard);  // rest is never "poorly executed"
+      continue;
+    }
+    ++gestures;
+    hard += t.hard;
+  }
+  EXPECT_NEAR(static_cast<double>(hard) / static_cast<double>(gestures), 0.15, 0.07);
+}
+
+TEST(Generator, SupportsManyChannels) {
+  GeneratorConfig cfg = small_config();
+  cfg.subjects = 1;
+  cfg.repetitions = 2;
+  cfg.channels = 32;
+  const EmgDataset ds = generate_dataset(cfg);
+  EXPECT_EQ(ds.trials.front().raw.size(), 32u);
+  // Channel patterns must not all be identical.
+  const auto& mid = ds.trials[cfg.repetitions].envelope[250];  // a gesture trial
+  std::set<float> distinct(mid.begin(), mid.end());
+  EXPECT_GT(distinct.size(), 5u);
+}
+
+TEST(Generator, ValidatesConfig) {
+  GeneratorConfig cfg = small_config();
+  cfg.subjects = 0;
+  EXPECT_THROW(generate_dataset(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.channels = 0;
+  EXPECT_THROW(generate_dataset(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.pattern_overlap = 1.0;
+  EXPECT_THROW(generate_dataset(cfg), std::invalid_argument);
+}
+
+TEST(Adc, RoundTripQuantizes) {
+  const float lsb = 80.0f / 65535.0f;
+  EXPECT_NEAR(adc_16bit_roundtrip(5.0f, 40.0f), 5.0f, lsb);
+  // Out-of-range inputs saturate at the last representable code.
+  EXPECT_NEAR(adc_16bit_roundtrip(100.0f, 40.0f), 40.0f, lsb);
+  EXPECT_LE(adc_16bit_roundtrip(100.0f, 40.0f), 40.0f);
+  EXPECT_NEAR(adc_16bit_roundtrip(-100.0f, 40.0f), -40.0f, lsb);
+  EXPECT_GE(adc_16bit_roundtrip(-100.0f, 40.0f), -40.0f);
+  EXPECT_EQ(adc_16bit_roundtrip(0.0f, 40.0f), 0.0f);
+}
+
+TEST(Split, MatchesPaperProtocol) {
+  GeneratorConfig cfg = small_config();
+  cfg.repetitions = 8;
+  const EmgDataset ds = generate_dataset(cfg);
+  const auto split = ds.split(0, 0.25);
+  // 25% of 8 repetitions -> 2 training repetitions per gesture.
+  EXPECT_EQ(split.train.size(), kGestureCount * 2u);
+  // "the entire dataset is used for testing" (per subject).
+  EXPECT_EQ(split.test.size(), kGestureCount * 8u);
+  for (const EmgTrial* t : split.train) EXPECT_LT(t->repetition, 2u);
+  for (const EmgTrial* t : split.test) EXPECT_EQ(t->subject, 0u);
+}
+
+TEST(Split, ValidatesFraction) {
+  const EmgDataset ds = generate_dataset(small_config());
+  EXPECT_THROW((void)ds.split(0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ds.split(0, 1.5), std::invalid_argument);
+}
+
+TEST(SubjectTrials, FiltersBySubject) {
+  const EmgDataset ds = generate_dataset(small_config());
+  const auto trials = ds.subject_trials(1);
+  EXPECT_EQ(trials.size(), kGestureCount * 4u);
+  for (const EmgTrial* t : trials) EXPECT_EQ(t->subject, 1u);
+}
+
+TEST(GestureNames, AllDistinct) {
+  std::set<std::string> names;
+  for (std::size_t g = 0; g < kGestureCount; ++g) names.insert(gesture_name(g));
+  EXPECT_EQ(names.size(), kGestureCount);
+  EXPECT_EQ(gesture_name(0), "rest");
+}
+
+}  // namespace
+}  // namespace pulphd::emg

@@ -1,0 +1,111 @@
+#include "emg/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace pulphd::emg {
+namespace {
+
+constexpr double kFs = 500.0;
+
+std::vector<float> sine(double freq_hz, double amplitude, std::size_t samples) {
+  std::vector<float> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    out[i] = static_cast<float>(
+        amplitude * std::sin(2.0 * std::numbers::pi * freq_hz * i / kFs));
+  }
+  return out;
+}
+
+double rms_tail(const std::vector<float>& signal) {
+  // Skip the first half to let the filter settle.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = signal.size() / 2; i < signal.size(); ++i, ++n) {
+    sum += static_cast<double>(signal[i]) * signal[i];
+  }
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+TEST(Notch, SuppressesPowerLineHum) {
+  Biquad notch = Biquad::notch(kFs, 50.0, 30.0);
+  const auto hum = sine(50.0, 1.0, 4000);
+  const auto filtered = notch.process_signal(hum);
+  EXPECT_LT(rms_tail(filtered), 0.02 * rms_tail(hum));
+}
+
+TEST(Notch, PassesNeighboringFrequencies) {
+  Biquad notch = Biquad::notch(kFs, 50.0, 30.0);
+  for (const double f : {10.0, 30.0, 80.0, 120.0}) {
+    notch.reset();
+    const auto tone = sine(f, 1.0, 4000);
+    const auto filtered = notch.process_signal(tone);
+    EXPECT_GT(rms_tail(filtered), 0.9 * rms_tail(tone)) << "f=" << f;
+  }
+}
+
+TEST(Lowpass, PassesDcBlocksHighFrequencies) {
+  Biquad lp = Biquad::lowpass(kFs, 4.0);
+  const std::vector<float> dc(2000, 1.0f);
+  const auto dc_out = lp.process_signal(dc);
+  EXPECT_NEAR(dc_out.back(), 1.0f, 0.01f);
+
+  lp.reset();
+  const auto fast = sine(100.0, 1.0, 4000);
+  const auto fast_out = lp.process_signal(fast);
+  EXPECT_LT(rms_tail(fast_out), 0.01 * rms_tail(fast));
+}
+
+TEST(Lowpass, CutoffAttenuationIsAbout3Db) {
+  Biquad lp = Biquad::lowpass(kFs, 4.0);
+  const auto at_cutoff = sine(4.0, 1.0, 8000);
+  const auto out = lp.process_signal(at_cutoff);
+  const double gain = rms_tail(out) / rms_tail(at_cutoff);
+  EXPECT_NEAR(gain, std::pow(10.0, -3.0 / 20.0), 0.08);  // -3 dB ± tolerance
+}
+
+TEST(Biquad, ResetClearsState) {
+  Biquad lp = Biquad::lowpass(kFs, 4.0);
+  (void)lp.process(1.0f);
+  (void)lp.process(1.0f);
+  lp.reset();
+  Biquad fresh = Biquad::lowpass(kFs, 4.0);
+  EXPECT_EQ(lp.process(0.5f), fresh.process(0.5f));
+}
+
+TEST(Biquad, ValidatesDesignParameters) {
+  EXPECT_THROW(Biquad::notch(kFs, 0.0, 30.0), std::invalid_argument);
+  EXPECT_THROW(Biquad::notch(kFs, 250.0, 30.0), std::invalid_argument);  // at Nyquist
+  EXPECT_THROW(Biquad::notch(kFs, 50.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Biquad::lowpass(kFs, 300.0), std::invalid_argument);
+}
+
+TEST(Envelope, TracksModulationAmplitude) {
+  // Amplitude-modulated noise-like carrier: the envelope extractor must
+  // recover the modulating amplitude, not the rectified mean.
+  Xoshiro256StarStar rng(1);
+  std::vector<float> signal(6000);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double amp = (i < 3000) ? 2.0 : 8.0;
+    signal[i] = static_cast<float>(amp * rng.next_gaussian());
+  }
+  EnvelopeExtractor env(kFs, 4.0);
+  const auto e = env.extract(signal);
+  // Settle regions: end of each half.
+  EXPECT_NEAR(e[2800], 2.0f, 0.8f);
+  EXPECT_NEAR(e[5800], 8.0f, 2.5f);
+  EXPECT_GT(e[5800], 2.0f * e[2800]);
+}
+
+TEST(Envelope, ZeroSignalGivesZeroEnvelope) {
+  EnvelopeExtractor env(kFs, 4.0);
+  const auto e = env.extract(std::vector<float>(1000, 0.0f));
+  EXPECT_EQ(e.back(), 0.0f);
+}
+
+}  // namespace
+}  // namespace pulphd::emg

@@ -1,0 +1,67 @@
+#include "hd/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::hd {
+namespace {
+
+TEST(ConfusionMatrix, AccuracyAndCells) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(1, 1);
+  cm.record(1, 2);
+  cm.record(2, 2);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.8);
+  EXPECT_EQ(cm.at(0, 0), 2u);
+  EXPECT_EQ(cm.at(1, 2), 1u);
+  EXPECT_EQ(cm.at(2, 1), 0u);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, RecallPerClass) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  const auto recall = cm.recall();
+  EXPECT_DOUBLE_EQ(recall[0], 0.5);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+}
+
+TEST(ConfusionMatrix, UnseenClassHasZeroRecall) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall()[2], 0.0);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.record(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.record(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)cm.at(2, 0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ToStringUsesNames) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 1);
+  const std::string s = cm.to_string({"rest", "fist"});
+  EXPECT_NE(s.find("rest"), std::string::npos);
+  EXPECT_NE(s.find("fist"), std::string::npos);
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.01);
+}
+
+}  // namespace
+}  // namespace pulphd::hd

@@ -1,0 +1,101 @@
+#include "hd/noise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::hd {
+namespace {
+
+TEST(BitFlips, FlipsExactCount) {
+  Xoshiro256StarStar rng(1);
+  const Hypervector hv = Hypervector::random(1000, rng);
+  for (const std::size_t flips : {0ul, 1ul, 10ul, 500ul, 1000ul}) {
+    Xoshiro256StarStar noise_rng(2);
+    const Hypervector noisy = with_bit_flips(hv, flips, noise_rng);
+    EXPECT_EQ(hv.hamming(noisy), flips);
+  }
+}
+
+TEST(BitFlips, RejectsTooManyFlips) {
+  Xoshiro256StarStar rng(3);
+  const Hypervector hv = Hypervector::random(100, rng);
+  Xoshiro256StarStar noise_rng(4);
+  EXPECT_THROW((void)with_bit_flips(hv, 101, noise_rng), std::invalid_argument);
+}
+
+TEST(BitErrorRate, MatchesExpectedRate) {
+  Xoshiro256StarStar rng(5);
+  const Hypervector hv = Hypervector::random(20000, rng);
+  Xoshiro256StarStar noise_rng(6);
+  const Hypervector noisy = with_bit_error_rate(hv, 0.1, noise_rng);
+  EXPECT_NEAR(static_cast<double>(hv.hamming(noisy)) / 20000.0, 0.1, 0.01);
+}
+
+TEST(BitErrorRate, EdgeRates) {
+  Xoshiro256StarStar rng(7);
+  const Hypervector hv = Hypervector::random(500, rng);
+  Xoshiro256StarStar noise_rng(8);
+  EXPECT_EQ(with_bit_error_rate(hv, 0.0, noise_rng), hv);
+  EXPECT_EQ(with_bit_error_rate(hv, 1.0, noise_rng), ~hv);
+  EXPECT_THROW((void)with_bit_error_rate(hv, 1.5, noise_rng), std::invalid_argument);
+}
+
+TEST(Truncated, KeepsPrefixComponents) {
+  Xoshiro256StarStar rng(9);
+  const Hypervector hv = Hypervector::random(333, rng);
+  const Hypervector cut = truncated(hv, 100);
+  EXPECT_EQ(cut.dim(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(cut.bit(i), hv.bit(i));
+  EXPECT_THROW((void)truncated(hv, 0), std::invalid_argument);
+  EXPECT_THROW((void)truncated(hv, 334), std::invalid_argument);
+}
+
+TEST(AmWithFaults, GracefulDegradation) {
+  // §4.1: "graceful degradation with ... faulty components". Classification
+  // survives moderate prototype corruption and dies only at ~50% errors.
+  constexpr std::size_t kDim = 8192;
+  Xoshiro256StarStar rng(10);
+  std::vector<Hypervector> seeds;
+  for (int c = 0; c < 5; ++c) seeds.push_back(Hypervector::random(kDim, rng));
+  AssociativeMemory am(5, kDim, 11);
+  std::vector<Hypervector> protos(seeds.begin(), seeds.end());
+  am.load_prototypes(protos);
+
+  const auto accuracy_at = [&](double error_rate) {
+    const AssociativeMemory faulty = am_with_faults(am, error_rate, 12);
+    int correct = 0;
+    Xoshiro256StarStar query_rng(13);
+    for (std::size_t c = 0; c < 5; ++c) {
+      const Hypervector query = with_bit_error_rate(seeds[c], 0.05, query_rng);
+      correct += faulty.classify(query).label == c;
+    }
+    return correct;
+  };
+
+  EXPECT_EQ(accuracy_at(0.0), 5);
+  EXPECT_EQ(accuracy_at(0.10), 5);   // robust at 10% faulty cells
+  EXPECT_EQ(accuracy_at(0.30), 5);   // still robust at 30%
+  EXPECT_LE(accuracy_at(0.50), 4);   // at 50% the code is destroyed
+}
+
+TEST(AmWithFaults, PreservesShape) {
+  AssociativeMemory am(3, 256, 1);
+  Xoshiro256StarStar rng(2);
+  std::vector<Hypervector> protos;
+  for (int c = 0; c < 3; ++c) protos.push_back(Hypervector::random(256, rng));
+  am.load_prototypes(protos);
+  const AssociativeMemory faulty = am_with_faults(am, 0.2, 3);
+  EXPECT_EQ(faulty.classes(), 3u);
+  EXPECT_EQ(faulty.dim(), 256u);
+  EXPECT_TRUE(faulty.is_trained());
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  Xoshiro256StarStar rng(14);
+  const Hypervector hv = Hypervector::random(512, rng);
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  EXPECT_EQ(with_bit_flips(hv, 50, a), with_bit_flips(hv, 50, b));
+}
+
+}  // namespace
+}  // namespace pulphd::hd

@@ -1,0 +1,93 @@
+#include "hd/record_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::hd {
+namespace {
+
+constexpr std::size_t kDim = 10000;
+
+struct Fixture {
+  RecordEncoder enc{3, kDim, 1};
+  ItemMemory codebook{8, kDim, 2};  // possible filler values
+};
+
+TEST(RecordEncoder, ProbeRecoversEveryField) {
+  Fixture f;
+  const std::vector<Hypervector> fillers{f.codebook.at(1), f.codebook.at(4),
+                                         f.codebook.at(7)};
+  const Hypervector record = f.enc.encode(fillers);
+  for (std::size_t field = 0; field < 3; ++field) {
+    const auto decoded = f.enc.decode(record, field, f.codebook.items());
+    EXPECT_EQ(decoded.index, field == 0 ? 1u : field == 1 ? 4u : 7u);
+    EXPECT_LT(decoded.distance, 0.4);  // closer than orthogonal
+  }
+}
+
+TEST(RecordEncoder, WrongRoleDecodesToNoise) {
+  Fixture f;
+  const std::vector<Hypervector> fillers{f.codebook.at(0), f.codebook.at(1),
+                                         f.codebook.at(2)};
+  const Hypervector record = f.enc.encode(fillers);
+  // Probing with an unused role yields ~orthogonal noise vs all fillers.
+  RecordEncoder other(5, kDim, 99);
+  const Hypervector noise = other.probe(record, 4);
+  for (const auto& value : f.codebook.items()) {
+    EXPECT_NEAR(noise.normalized_hamming(value), 0.5, 0.03);
+  }
+}
+
+TEST(RecordEncoder, PartialRecordsDecode) {
+  Fixture f;
+  const std::vector<std::pair<std::size_t, const Hypervector*>> partial{
+      {0, &f.codebook.at(3)}, {2, &f.codebook.at(6)}};
+  const Hypervector record = f.enc.encode_partial(partial);
+  EXPECT_EQ(f.enc.decode(record, 0, f.codebook.items()).index, 3u);
+  EXPECT_EQ(f.enc.decode(record, 2, f.codebook.items()).index, 6u);
+}
+
+TEST(RecordEncoder, RecordsWithDifferentFillersDiffer) {
+  Fixture f;
+  const std::vector<Hypervector> a{f.codebook.at(0), f.codebook.at(1), f.codebook.at(2)};
+  std::vector<Hypervector> b = a;
+  b[1] = f.codebook.at(5);
+  EXPECT_GT(f.enc.encode(a).normalized_hamming(f.enc.encode(b)), 0.15);
+}
+
+TEST(RecordEncoder, SameContentSameRecord) {
+  Fixture f;
+  const std::vector<Hypervector> fillers{f.codebook.at(2), f.codebook.at(2),
+                                         f.codebook.at(2)};
+  EXPECT_EQ(f.enc.encode(fillers), f.enc.encode(fillers));
+}
+
+TEST(RecordEncoder, ValidatesArguments) {
+  Fixture f;
+  EXPECT_THROW(RecordEncoder(0, kDim, 1), std::invalid_argument);
+  EXPECT_THROW((void)f.enc.encode(std::vector<Hypervector>{f.codebook.at(0)}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)f.enc.encode_partial(
+          std::vector<std::pair<std::size_t, const Hypervector*>>{}),
+      std::invalid_argument);
+  Hypervector wrong_dim(64);
+  EXPECT_THROW(
+      (void)f.enc.encode_partial(
+          std::vector<std::pair<std::size_t, const Hypervector*>>{{0, &wrong_dim}}),
+      std::invalid_argument);
+  EXPECT_THROW((void)f.enc.decode(f.codebook.at(0), 0, std::span<const Hypervector>()),
+               std::invalid_argument);
+}
+
+TEST(RecordEncoder, EvenFieldCountUsesTiebreak) {
+  RecordEncoder enc(4, 2048, 7);
+  ItemMemory values(4, 2048, 8);
+  const std::vector<Hypervector> fillers(values.items().begin(), values.items().end());
+  // Must match majority_with_tiebreak over the bound pairs.
+  std::vector<Hypervector> pairs;
+  for (std::size_t i = 0; i < 4; ++i) pairs.push_back(enc.role(i) ^ fillers[i]);
+  EXPECT_EQ(enc.encode(fillers), majority_with_tiebreak(pairs));
+}
+
+}  // namespace
+}  // namespace pulphd::hd

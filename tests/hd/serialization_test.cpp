@@ -1,0 +1,103 @@
+#include "hd/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pulphd::hd {
+namespace {
+
+HdClassifier trained_classifier() {
+  ClassifierConfig cfg;
+  cfg.dim = 512;
+  cfg.channels = 4;
+  cfg.levels = 8;
+  cfg.max_value = 7.0;
+  cfg.classes = 3;
+  cfg.seed = 77;
+  HdClassifier clf(cfg);
+  for (std::size_t c = 0; c < 3; ++c) {
+    Trial t;
+    for (int i = 0; i < 10; ++i) {
+      t.push_back({static_cast<float>(c), static_cast<float>(7 - c),
+                   static_cast<float>(2 * c), 3.0f});
+    }
+    clf.train(t, c);
+  }
+  return clf;
+}
+
+TEST(Serialization, RoundTripPreservesModel) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const ClassifierModel model = load_model(buffer);
+
+  EXPECT_EQ(model.config.dim, original.config().dim);
+  EXPECT_EQ(model.config.channels, original.config().channels);
+  EXPECT_EQ(model.config.levels, original.config().levels);
+  EXPECT_EQ(model.config.classes, original.config().classes);
+  EXPECT_EQ(model.im, original.im().items());
+  EXPECT_EQ(model.cim, original.cim().items());
+  EXPECT_EQ(model.am, original.am().prototypes());
+}
+
+TEST(Serialization, RestoredClassifierPredictsIdentically) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const ClassifierModel model = load_model(buffer);
+  EXPECT_EQ(model.config.seed, original.config().seed);
+  const HdClassifier restored = classifier_from_model(model);
+
+  Trial probe;
+  for (int i = 0; i < 5; ++i) probe.push_back({1.0f, 6.0f, 2.0f, 3.0f});
+  const AmDecision a = original.predict(probe);
+  const AmDecision b = restored.predict(probe);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pulphd_model.bin";
+  const HdClassifier original = trained_classifier();
+  save_model_file(original, path);
+  const ClassifierModel model = load_model_file(path);
+  EXPECT_EQ(model.am, original.am().prototypes());
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer.write("XXXXYYYY", 8);
+  EXPECT_THROW((void)load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedStream) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const std::string full = buffer.str();
+  for (const std::size_t cut : {4ul, 16ul, 64ul, full.size() - 8}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW((void)load_model(truncated), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(Serialization, RejectsWrongVersion) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 0x7F;  // corrupt the version field
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+TEST(Serialization, LoadFileErrorsOnMissingPath) {
+  EXPECT_THROW((void)load_model_file("/nonexistent/dir/model.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pulphd::hd

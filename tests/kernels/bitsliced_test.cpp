@@ -1,0 +1,78 @@
+#include "kernels/bitsliced.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/primitives.hpp"
+
+namespace pulphd::kernels {
+namespace {
+
+std::vector<std::vector<Word>> random_rows(std::size_t n, std::size_t words,
+                                           std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<std::vector<Word>> rows(n, std::vector<Word>(words));
+  for (auto& row : rows) {
+    for (auto& w : row) w = static_cast<Word>(rng.next());
+  }
+  return rows;
+}
+
+std::vector<std::span<const Word>> spans_of(const std::vector<std::vector<Word>>& rows) {
+  return {rows.begin(), rows.end()};
+}
+
+class BitslicedMajority : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitslicedMajority, MatchesGenericBitExactly) {
+  const std::size_t n = GetParam();
+  for (const std::size_t words : {1ul, 7ul, 313ul}) {
+    const auto rows = random_rows(n, words, 11 * n + words);
+    std::vector<Word> generic_out(words);
+    std::vector<Word> sliced_out(words);
+    sim::CoreContext g(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+    sim::CoreContext s(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+    majority_range_generic(g, spans_of(rows), generic_out, 0, words);
+    majority_range_bitsliced(s, spans_of(rows), sliced_out, 0, words);
+    EXPECT_EQ(generic_out, sliced_out) << "n=" << n << " words=" << words;
+  }
+}
+
+TEST_P(BitslicedMajority, IsFasterThanBothPaperVariants) {
+  const std::size_t n = GetParam();
+  const auto rows = random_rows(n, 313, 23 * n);
+  std::vector<Word> out(313);
+  sim::CoreContext generic(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+  sim::CoreContext builtin(sim::isa_costs(sim::CoreKind::kWolfRv32Builtin), 1.0);
+  sim::CoreContext sliced(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+  majority_range_generic(generic, spans_of(rows), out, 0, 313);
+  majority_range_builtin(builtin, spans_of(rows), out, 0, 313);
+  majority_range_bitsliced(sliced, spans_of(rows), out, 0, 313);
+  EXPECT_LT(sliced.cycles(), generic.cycles());
+  EXPECT_LT(sliced.cycles(), builtin.cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(OperandCounts, BitslicedMajority,
+                         ::testing::Values(3ul, 5ul, 9ul, 17ul, 33ul, 65ul));
+
+TEST(BitslicedMajority, RejectsEvenOperands) {
+  const auto rows = random_rows(4, 8, 1);
+  std::vector<Word> out(8);
+  sim::CoreContext ctx(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+  EXPECT_THROW(majority_range_bitsliced(ctx, spans_of(rows), out, 0, 8),
+               std::invalid_argument);
+}
+
+TEST(BitslicedMajority, PartialRangesCompose) {
+  const auto rows = random_rows(5, 64, 2);
+  std::vector<Word> whole(64);
+  std::vector<Word> split(64);
+  sim::CoreContext ctx(sim::isa_costs(sim::CoreKind::kWolfRv32), 1.0);
+  majority_range_bitsliced(ctx, spans_of(rows), whole, 0, 64);
+  majority_range_bitsliced(ctx, spans_of(rows), split, 0, 20);
+  majority_range_bitsliced(ctx, spans_of(rows), split, 20, 64);
+  EXPECT_EQ(whole, split);
+}
+
+}  // namespace
+}  // namespace pulphd::kernels

@@ -1,0 +1,216 @@
+// Calibration acceptance tests: the cycle model must land near the
+// measured columns of Tables 2 and 3 of the paper, and every speed-up
+// ratio must match its published counterpart. These are the contract the
+// benchmark harness relies on; tolerances are ±20% on absolute cycle
+// counts (the model is analytic, not RTL) and tighter on ratios.
+#include <gtest/gtest.h>
+
+#include "kernels/chain.hpp"
+#include "sim/power.hpp"
+
+namespace pulphd::kernels {
+namespace {
+
+using hd::ClassifierConfig;
+using hd::HdClassifier;
+using sim::ClusterConfig;
+
+struct PaperSetup {
+  PaperSetup() : model(paper_config()) {
+    hd::Trial t;
+    for (int i = 0; i < 3; ++i) t.push_back({4.0f, 9.0f, 14.0f, 7.0f});
+    for (std::size_t c = 0; c < 5; ++c) model.train(t, c);
+    window.push_back({6.0f, 11.0f, 2.0f, 16.0f});
+  }
+
+  static ClassifierConfig paper_config() {
+    ClassifierConfig cfg;  // defaults are the paper's EMG configuration
+    return cfg;
+  }
+
+  ChainRun run_on(const ClusterConfig& cluster, bool dma = true) const {
+    ChainConfig cc;
+    cc.model_dma = dma;
+    const ProcessingChain chain(cluster, model, cc);
+    return chain.classify(window);
+  }
+
+  HdClassifier model;
+  std::vector<hd::Sample> window;
+};
+
+void expect_within(double measured, double paper, double rel_tol, const char* what) {
+  EXPECT_NEAR(measured / paper, 1.0, rel_tol)
+      << what << ": model " << measured << " vs paper " << paper;
+}
+
+TEST(CalibrationTable3, PulpV3SingleCore) {
+  const PaperSetup s;
+  const ChainRun run = s.run_on(ClusterConfig::pulpv3(1));
+  expect_within(static_cast<double>(run.cycles.map_encode_total()), 492000, 0.20,
+                "MAP+ENCODERS");
+  expect_within(static_cast<double>(run.cycles.am_total()), 41000, 0.20, "AM");
+  expect_within(static_cast<double>(run.cycles.total()), 533000, 0.20, "TOTAL");
+  // Kernel shares: 92.30% / 7.70% in the paper.
+  const double map_share = static_cast<double>(run.cycles.map_encode_total()) /
+                           static_cast<double>(run.cycles.total());
+  EXPECT_NEAR(map_share, 0.923, 0.02);
+}
+
+TEST(CalibrationTable3, PulpV3FourCoreSpeedup) {
+  const PaperSetup s;
+  const ChainRun one = s.run_on(ClusterConfig::pulpv3(1));
+  const ChainRun four = s.run_on(ClusterConfig::pulpv3(4));
+  const double total_sp = static_cast<double>(one.cycles.total()) /
+                          static_cast<double>(four.cycles.total());
+  EXPECT_NEAR(total_sp, 3.73, 0.30);  // paper: 3.73x
+  const double map_sp = static_cast<double>(one.cycles.map_encode_total()) /
+                        static_cast<double>(four.cycles.map_encode_total());
+  EXPECT_NEAR(map_sp, 3.81, 0.30);    // paper: 3.81x (near ideal)
+  const double am_sp = static_cast<double>(one.cycles.am_total()) /
+                       static_cast<double>(four.cycles.am_total());
+  EXPECT_NEAR(am_sp, 2.93, 0.45);     // paper: 2.93x (saturating)
+  EXPECT_LT(am_sp, map_sp);           // the AM kernel saturates first
+}
+
+TEST(CalibrationTable3, WolfSingleCoreIsaGain) {
+  const PaperSetup s;
+  const ChainRun pulp = s.run_on(ClusterConfig::pulpv3(1));
+  const ChainRun wolf = s.run_on(ClusterConfig::wolf(1, false));
+  expect_within(static_cast<double>(wolf.cycles.total()), 434000, 0.20, "Wolf total");
+  const double sp = static_cast<double>(pulp.cycles.total()) /
+                    static_cast<double>(wolf.cycles.total());
+  EXPECT_NEAR(sp, 1.23, 0.15);  // paper: 1.23x from ISA + compiler
+}
+
+TEST(CalibrationTable3, WolfBuiltinGain) {
+  const PaperSetup s;
+  const ChainRun pulp = s.run_on(ClusterConfig::pulpv3(1));
+  const ChainRun builtin = s.run_on(ClusterConfig::wolf(1, true));
+  expect_within(static_cast<double>(builtin.cycles.total()), 188000, 0.20,
+                "Wolf built-in total");
+  const double sp = static_cast<double>(pulp.cycles.total()) /
+                    static_cast<double>(builtin.cycles.total());
+  EXPECT_NEAR(sp, 2.84, 0.35);  // paper: 2.84x
+}
+
+TEST(CalibrationTable3, WolfEightCoreBuiltin) {
+  const PaperSetup s;
+  const ChainRun pulp = s.run_on(ClusterConfig::pulpv3(1));
+  const ChainRun w8 = s.run_on(ClusterConfig::wolf(8, true));
+  expect_within(static_cast<double>(w8.cycles.total()), 29000, 0.20, "Wolf 8c total");
+  const double sp = static_cast<double>(pulp.cycles.total()) /
+                    static_cast<double>(w8.cycles.total());
+  EXPECT_NEAR(sp, 18.38, 3.0);  // paper: 18.38x end-to-end
+  // MAP+ENCODERS stays the dominant kernel but its share shrinks (§5.1).
+  const double map_share = static_cast<double>(w8.cycles.map_encode_total()) /
+                           static_cast<double>(w8.cycles.total());
+  EXPECT_LT(map_share, 0.923);
+  EXPECT_GT(map_share, 0.75);
+}
+
+TEST(CalibrationTable3, WolfEightCoreScalingFromOne) {
+  const PaperSetup s;
+  const ChainRun w1 = s.run_on(ClusterConfig::wolf(1, true));
+  const ChainRun w8 = s.run_on(ClusterConfig::wolf(8, true));
+  const double sp = static_cast<double>(w1.cycles.total()) /
+                    static_cast<double>(w8.cycles.total());
+  EXPECT_NEAR(sp, 6.5, 1.0);  // §5.1: "gains 6.5x speedup, scaling ... to 8 cores"
+}
+
+TEST(CalibrationTable2, ArmCortexM4Cycles) {
+  const PaperSetup s;
+  const ChainRun m4 = s.run_on(ClusterConfig::arm_cortex_m4(), /*dma=*/false);
+  expect_within(static_cast<double>(m4.cycles.total()), 439000, 0.20, "M4 total");
+  // The M4 runs the serial chain faster than single-core PULPv3 thanks to
+  // barrel-shifter folding (Table 2: 439 k vs 533 k).
+  const ChainRun pulp = s.run_on(ClusterConfig::pulpv3(1));
+  EXPECT_LT(m4.cycles.total(), pulp.cycles.total());
+  const double ratio = static_cast<double>(m4.cycles.total()) /
+                       static_cast<double>(pulp.cycles.total());
+  EXPECT_NEAR(ratio, 0.823, 0.08);
+}
+
+TEST(CalibrationTable2, FrequenciesForTenMilliseconds) {
+  // Configure "the clock frequency of the processors to achieve a detection
+  // latency of 10 ms" (§4.2): cycles/10ms must land near Table 2's column.
+  const PaperSetup s;
+  const double f_pulp1 = sim::PowerModel::required_freq_mhz(
+      s.run_on(ClusterConfig::pulpv3(1)).cycles.total(), 10.0);
+  EXPECT_NEAR(f_pulp1, 53.3, 53.3 * 0.2);
+  const double f_pulp4 = sim::PowerModel::required_freq_mhz(
+      s.run_on(ClusterConfig::pulpv3(4)).cycles.total(), 10.0);
+  EXPECT_NEAR(f_pulp4, 14.3, 14.3 * 0.2);
+}
+
+TEST(CalibrationScaling, CyclesLinearInDimension) {
+  // Fig. 3: "increasing the dimension of the hypervectors ... corresponds
+  // to a linear growth of the execution time".
+  hd::Trial t;
+  for (int i = 0; i < 3; ++i) t.push_back({4.0f, 9.0f, 14.0f, 7.0f});
+  const auto cycles_at = [&](std::size_t dim) {
+    ClassifierConfig cfg;
+    cfg.dim = dim;
+    HdClassifier model(cfg);
+    for (std::size_t c = 0; c < 5; ++c) model.train(t, c);
+    const ProcessingChain chain(ClusterConfig::wolf(8, true), model);
+    std::vector<hd::Sample> w{{6.0f, 11.0f, 2.0f, 16.0f}};
+    return static_cast<double>(chain.classify(w).cycles.total());
+  };
+  // The runtime overhead (fork/join, barriers, exposed DMA) is a constant
+  // intercept, so linearity means equal increments per dimension step.
+  const double c2k = cycles_at(2000);
+  const double c4k = cycles_at(4000);
+  const double c6k = cycles_at(6000);
+  const double c8k = cycles_at(8000);
+  EXPECT_NEAR((c6k - c4k) / (c4k - c2k), 1.0, 0.10);
+  EXPECT_NEAR((c8k - c6k) / (c6k - c4k), 1.0, 0.10);
+  EXPECT_GT(c8k, c2k * 2.0);  // growth clearly dominates the intercept
+}
+
+TEST(CalibrationScaling, CyclesLinearInChannels) {
+  // Fig. 5: "the clock cycles increases linearly with the number of
+  // channels".
+  const auto cycles_at = [&](std::size_t channels) {
+    ClassifierConfig cfg;
+    cfg.dim = 2048;
+    cfg.channels = channels;
+    HdClassifier model(cfg);
+    hd::Trial t;
+    for (int i = 0; i < 2; ++i) t.push_back(hd::Sample(channels, 5.0f));
+    for (std::size_t c = 0; c < 5; ++c) model.train(t, c);
+    const ProcessingChain chain(ClusterConfig::wolf(8, true), model);
+    std::vector<hd::Sample> w{hd::Sample(channels, 7.0f)};
+    return static_cast<double>(chain.classify(w).cycles.total());
+  };
+  const double c16 = cycles_at(16);
+  const double c64 = cycles_at(64);
+  const double c256 = cycles_at(256);
+  EXPECT_NEAR(c64 / c16, 4.0, 0.8);
+  EXPECT_NEAR(c256 / c64, 4.0, 0.8);
+}
+
+TEST(CalibrationScaling, CyclesGrowWithNgram) {
+  // Fig. 4: larger N-grams scale the window work; the accelerator handles
+  // them with near-perfect core scaling.
+  const auto cycles_at = [&](std::size_t n, std::uint32_t cores) {
+    ClassifierConfig cfg;
+    cfg.dim = 2048;
+    cfg.ngram = n;
+    HdClassifier model(cfg);
+    hd::Trial t;
+    for (std::size_t i = 0; i < n; ++i) t.push_back({4.0f, 9.0f, 14.0f, 7.0f});
+    for (std::size_t c = 0; c < 5; ++c) model.train(t, c);
+    const ProcessingChain chain(ClusterConfig::wolf(cores, true), model);
+    std::vector<hd::Sample> w;
+    for (std::size_t i = 0; i < n; ++i) w.push_back({6.0f, 11.0f, 2.0f, 16.0f});
+    return static_cast<double>(chain.classify(w).cycles.total());
+  };
+  // Linear-ish growth in N on 8 cores.
+  EXPECT_NEAR(cycles_at(10, 8) / cycles_at(5, 8), 2.0, 0.4);
+  // Near-ideal scaling at N = 10 from 1 to 8 cores.
+  EXPECT_NEAR(cycles_at(10, 1) / cycles_at(10, 8), 7.0, 1.5);
+}
+
+}  // namespace
+}  // namespace pulphd::kernels

@@ -1,0 +1,100 @@
+// Channel-count sweep of the accelerated chain: odd counts (no tie-break
+// operand), the paper's 4, and the wide Fig. 5 configurations — all must
+// stay bit-exact with the golden model on every platform variant.
+#include <gtest/gtest.h>
+
+#include "kernels/chain.hpp"
+
+namespace pulphd::kernels {
+namespace {
+
+using hd::ClassifierConfig;
+using hd::HdClassifier;
+
+HdClassifier model_with_channels(std::size_t channels) {
+  ClassifierConfig cfg;
+  cfg.dim = 1024;
+  cfg.channels = channels;
+  cfg.seed = 99 + channels;
+  HdClassifier clf(cfg);
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    hd::Trial trial;
+    for (int i = 0; i < 3; ++i) {
+      hd::Sample s(channels);
+      for (std::size_t ch = 0; ch < channels; ++ch) {
+        s[ch] = static_cast<float>((2 * c + 3 * ch + static_cast<std::size_t>(i)) % 21);
+      }
+      trial.push_back(std::move(s));
+    }
+    clf.train(trial, c);
+  }
+  return clf;
+}
+
+std::vector<hd::Sample> probe_window(std::size_t channels) {
+  hd::Sample s(channels);
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    s[ch] = static_cast<float>((5 * ch + 1) % 21);
+  }
+  return {s};
+}
+
+class ChannelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelSweep, BitExactAcrossPlatforms) {
+  const std::size_t channels = GetParam();
+  const HdClassifier model = model_with_channels(channels);
+  const auto window = probe_window(channels);
+  const hd::Hypervector golden = model.encode_query(window);
+  const hd::AmDecision golden_decision = model.predict_encoded(golden);
+
+  for (const auto& cluster :
+       {sim::ClusterConfig::pulpv3(4), sim::ClusterConfig::wolf(1, false),
+        sim::ClusterConfig::wolf(8, true), sim::ClusterConfig::arm_cortex_m4()}) {
+    const ProcessingChain chain(cluster, model);
+    const ChainRun run = chain.classify(window);
+    EXPECT_EQ(run.query, golden) << cluster.name << " channels=" << channels;
+    EXPECT_EQ(run.decision.distances, golden_decision.distances) << cluster.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChannelSweep,
+                         ::testing::Values(1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 16ul, 33ul,
+                                           64ul));
+
+TEST(ChannelSweep, OddCountsSkipTiebreakOperand) {
+  // With an odd channel count the majority takes exactly `channels`
+  // operands; with even counts it takes channels + 1. The bind stage's
+  // cycle cost reflects the extra XOR pass.
+  const HdClassifier odd = model_with_channels(5);
+  const HdClassifier even = model_with_channels(4);
+  const ProcessingChain odd_chain(sim::ClusterConfig::wolf(1, true), odd);
+  const ProcessingChain even_chain(sim::ClusterConfig::wolf(1, true), even);
+  const std::uint64_t odd_bind = odd_chain.classify(probe_window(5)).cycles.bind;
+  const std::uint64_t even_bind = even_chain.classify(probe_window(4)).cycles.bind;
+  // 5 channels bind 5 rows; 4 channels bind 4 rows + 1 tie-break = 5 passes
+  // of identical cost.
+  EXPECT_EQ(odd_bind, even_bind);
+}
+
+TEST(ChannelSweep, CyclesGrowMonotonically) {
+  std::uint64_t previous = 0;
+  for (const std::size_t channels : {4ul, 8ul, 16ul, 32ul}) {
+    const HdClassifier model = model_with_channels(channels);
+    const ProcessingChain chain(sim::ClusterConfig::wolf(8, true), model);
+    const std::uint64_t cycles = chain.classify(probe_window(channels)).cycles.total();
+    EXPECT_GT(cycles, previous) << "channels=" << channels;
+    previous = cycles;
+  }
+}
+
+TEST(ChannelSweep, SingleChannelDegenerateCaseWorks) {
+  // One channel: the "majority" of one bound vector is the vector itself.
+  const HdClassifier model = model_with_channels(1);
+  const auto window = probe_window(1);
+  const ProcessingChain chain(sim::ClusterConfig::pulpv3(1), model);
+  EXPECT_EQ(chain.classify(window).query, model.encode_query(window));
+}
+
+}  // namespace
+}  // namespace pulphd::kernels

@@ -1,0 +1,123 @@
+#include "kernels/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hd/integer_am.hpp"
+#include "kernels/chain.hpp"
+
+namespace pulphd::kernels {
+namespace {
+
+constexpr std::size_t kDim = 2048;
+
+TEST(OnlineUpdate, MatchesIntegerAmSemantics) {
+  Xoshiro256StarStar rng(1);
+  hd::IntegerAssociativeMemory golden(1, kDim);
+  std::vector<std::int16_t> counters(kDim, 0);
+  std::vector<Word> prototype(words_for_dim(kDim), 0u);
+  const sim::ClusterConfig cluster = sim::ClusterConfig::wolf(8, true);
+
+  for (int i = 0; i < 7; ++i) {
+    const hd::Hypervector example = hd::Hypervector::random(kDim, rng);
+    golden.train(0, example);
+    const TrainingRun run = online_update(cluster, kDim, example.words(), counters,
+                                          prototype);
+    EXPECT_GT(run.total(), 0u);
+  }
+  // Counter state and thresholded prototype must agree with the library.
+  const hd::Hypervector golden_proto = golden.binarized_prototype(0);
+  EXPECT_EQ(hd::Hypervector(kDim, prototype), golden_proto);
+}
+
+TEST(OnlineUpdate, ParallelScalesAndStaysExact) {
+  Xoshiro256StarStar rng(2);
+  const hd::Hypervector example = hd::Hypervector::random(kDim, rng);
+  std::vector<std::int16_t> counters1(kDim, 0);
+  std::vector<std::int16_t> counters8(kDim, 0);
+  std::vector<Word> proto1(words_for_dim(kDim), 0u);
+  std::vector<Word> proto8(words_for_dim(kDim), 0u);
+
+  const TrainingRun one = online_update(sim::ClusterConfig::wolf(1, true), kDim,
+                                        example.words(), counters1, proto1);
+  const TrainingRun eight = online_update(sim::ClusterConfig::wolf(8, true), kDim,
+                                          example.words(), counters8, proto8);
+  EXPECT_EQ(counters1, counters8);
+  EXPECT_EQ(proto1, proto8);
+  const double speedup = static_cast<double>(one.total()) /
+                         static_cast<double>(eight.total());
+  EXPECT_GT(speedup, 4.0);  // data-parallel like the encoders
+  EXPECT_LE(speedup, 8.0);
+}
+
+TEST(OnlineUpdate, BuiltinsAccelerateTheUpdate) {
+  Xoshiro256StarStar rng(3);
+  const hd::Hypervector example = hd::Hypervector::random(kDim, rng);
+  std::vector<std::int16_t> c1(kDim, 0);
+  std::vector<std::int16_t> c2(kDim, 0);
+  std::vector<Word> p1(words_for_dim(kDim), 0u);
+  std::vector<Word> p2(words_for_dim(kDim), 0u);
+  const TrainingRun plain = online_update(sim::ClusterConfig::wolf(1, false), kDim,
+                                          example.words(), c1, p1);
+  const TrainingRun builtin = online_update(sim::ClusterConfig::wolf(1, true), kDim,
+                                            example.words(), c2, p2);
+  EXPECT_LT(builtin.total(), plain.total());
+}
+
+TEST(OnlineUpdate, CostIsLinearInDimension) {
+  Xoshiro256StarStar rng(4);
+  const sim::ClusterConfig cluster = sim::ClusterConfig::wolf(1, true);
+  const auto cycles_at = [&](std::size_t dim) {
+    const hd::Hypervector example = hd::Hypervector::random(dim, rng);
+    std::vector<std::int16_t> counters(dim, 0);
+    std::vector<Word> proto(words_for_dim(dim), 0u);
+    return online_update(cluster, dim, example.words(), counters, proto).total();
+  };
+  const auto c2k = static_cast<double>(cycles_at(2048));
+  const auto c8k = static_cast<double>(cycles_at(8192));
+  EXPECT_NEAR(c8k / c2k, 4.0, 0.2);
+}
+
+TEST(OnlineUpdate, UpdateIsCheaperThanClassification) {
+  // The §3 claim that online learning is viable on-device: one AM update
+  // costs the same order as (and less than 2x) one classification.
+  const hd::HdClassifier model = [] {
+    hd::ClassifierConfig cfg;
+    hd::HdClassifier clf(cfg);
+    hd::Trial t;
+    for (int i = 0; i < 3; ++i) t.push_back({4.0f, 9.0f, 14.0f, 7.0f});
+    for (std::size_t c = 0; c < 5; ++c) clf.train(t, c);
+    return clf;
+  }();
+  const sim::ClusterConfig cluster = sim::ClusterConfig::wolf(8, true);
+  const ProcessingChain chain(cluster, model);
+  std::vector<hd::Sample> window{{6.0f, 11.0f, 2.0f, 16.0f}};
+  const std::uint64_t classify_cycles = chain.classify(window).cycles.total();
+
+  Xoshiro256StarStar rng(5);
+  const hd::Hypervector example = hd::Hypervector::random(10000, rng);
+  std::vector<std::int16_t> counters(10000, 0);
+  std::vector<Word> proto(words_for_dim(10000), 0u);
+  const std::uint64_t update_cycles =
+      online_update(cluster, 10000, example.words(), counters, proto).total();
+  EXPECT_LT(update_cycles, 2 * classify_cycles);
+}
+
+TEST(OnlineUpdate, ValidatesArguments) {
+  std::vector<std::int16_t> counters(64, 0);
+  std::vector<std::int16_t> short_counters(63, 0);
+  std::vector<Word> proto(2, 0u);
+  std::vector<Word> short_proto(1, 0u);
+  std::vector<Word> encoded(2, 0u);
+  std::vector<Word> short_encoded(1, 0u);
+  const sim::ClusterConfig cluster = sim::ClusterConfig::wolf(1, true);
+  EXPECT_THROW(online_update(cluster, 64, short_encoded, counters, proto),
+               std::invalid_argument);
+  EXPECT_THROW(online_update(cluster, 64, encoded, short_counters, proto),
+               std::invalid_argument);
+  EXPECT_THROW(online_update(cluster, 64, encoded, counters, short_proto),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulphd::kernels

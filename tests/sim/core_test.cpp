@@ -1,0 +1,73 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::sim {
+namespace {
+
+TEST(CoreContext, ChargesPerCostTable) {
+  CoreContext ctx(isa_costs(CoreKind::kPulpV3Or1k), 1.0);
+  ctx.alu(10);        // 10
+  ctx.mul(2);         // 2
+  ctx.loop_iters(5);  // 5 * 3
+  ctx.addr_update(4); // 4
+  ctx.load_l1(3);     // 3
+  ctx.store_l1(1);    // 1
+  EXPECT_EQ(ctx.cycles(), 10u + 2u + 15u + 4u + 3u + 1u);
+}
+
+TEST(CoreContext, PopcountCostDependsOnIsa) {
+  CoreContext wolf(isa_costs(CoreKind::kWolfRv32Builtin), 1.0);
+  wolf.popcount(10);
+  EXPECT_EQ(wolf.cycles(), 10u);
+  CoreContext or1k(isa_costs(CoreKind::kPulpV3Or1k), 1.0);
+  or1k.popcount(10);
+  EXPECT_EQ(or1k.cycles(), 160u);
+}
+
+TEST(CoreContext, ContentionScalesMemoryAccessesOnly) {
+  CoreContext ctx(isa_costs(CoreKind::kWolfRv32), 1.5);
+  ctx.load_l1(100);
+  EXPECT_EQ(ctx.cycles(), 150u);
+  ctx.alu(100);  // ALU unaffected by banking conflicts
+  EXPECT_EQ(ctx.cycles(), 250u);
+}
+
+TEST(CoreContext, FractionalContentionAccumulatesExactly) {
+  // factor 1.25: four 1-cycle loads must cost exactly 5 cycles in total.
+  CoreContext ctx(isa_costs(CoreKind::kWolfRv32), 1.25);
+  for (int i = 0; i < 4; ++i) ctx.load_l1(1);
+  EXPECT_EQ(ctx.cycles(), 5u);
+  // and 4000 loads exactly 5000.
+  CoreContext bulk(isa_costs(CoreKind::kWolfRv32), 1.25);
+  for (int i = 0; i < 4000; ++i) bulk.load_l1(1);
+  EXPECT_EQ(bulk.cycles(), 5000u);
+}
+
+TEST(CoreContext, ResetClears) {
+  CoreContext ctx(isa_costs(CoreKind::kWolfRv32), 1.0);
+  ctx.alu(42);
+  ctx.reset();
+  EXPECT_EQ(ctx.cycles(), 0u);
+}
+
+TEST(CoreContext, RawCyclesAndImmediates) {
+  CoreContext ctx(isa_costs(CoreKind::kPulpV3Or1k), 1.0);
+  ctx.raw_cycles(100);
+  ctx.load_imm32(2);  // l.movhi + l.ori pair = 2 each on OR1K
+  EXPECT_EQ(ctx.cycles(), 104u);
+}
+
+TEST(CoreContext, BitFieldCharges) {
+  CoreContext builtin(isa_costs(CoreKind::kWolfRv32Builtin), 1.0);
+  builtin.bit_extract(5);
+  builtin.bit_insert(5);
+  EXPECT_EQ(builtin.cycles(), 10u);
+  CoreContext generic(isa_costs(CoreKind::kWolfRv32), 1.0);
+  generic.bit_extract(5);  // shift+and
+  generic.bit_insert(5);   // shift+or+mask
+  EXPECT_EQ(generic.cycles(), 10u + 15u);
+}
+
+}  // namespace
+}  // namespace pulphd::sim

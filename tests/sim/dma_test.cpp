@@ -1,0 +1,73 @@
+#include "sim/dma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::sim {
+namespace {
+
+TEST(DmaModel, TransferCycles) {
+  const DmaModel dma{.startup_cycles = 30, .bytes_per_cycle = 8};
+  EXPECT_EQ(dma.transfer_cycles(0), 30u);
+  EXPECT_EQ(dma.transfer_cycles(8), 31u);
+  EXPECT_EQ(dma.transfer_cycles(9), 32u);        // partial beat rounds up
+  EXPECT_EQ(dma.transfer_cycles(1252), 30u + 157u);  // one 313-word row
+}
+
+TEST(DoubleBufferTimeline, EmptyIsZero) {
+  const DoubleBufferTimeline tl;
+  EXPECT_EQ(tl.overlapped_cycles(), 0u);
+  EXPECT_EQ(tl.serialized_cycles(), 0u);
+}
+
+TEST(DoubleBufferTimeline, SingleTileExposesFullTransfer) {
+  DoubleBufferTimeline tl;
+  tl.add_tile(100, 500);
+  EXPECT_EQ(tl.overlapped_cycles(), 600u);
+  EXPECT_EQ(tl.serialized_cycles(), 600u);
+}
+
+TEST(DoubleBufferTimeline, ComputeBoundHidesAllButFirstTransfer) {
+  // §3: "data transfers and processing phases can be superimposed".
+  DoubleBufferTimeline tl;
+  for (int i = 0; i < 4; ++i) tl.add_tile(100, 1000);
+  EXPECT_EQ(tl.overlapped_cycles(), 100u + 4u * 1000u);
+  EXPECT_EQ(tl.serialized_cycles(), 4u * 1100u);
+}
+
+TEST(DoubleBufferTimeline, TransferBoundDegeneratesToTransferTime) {
+  DoubleBufferTimeline tl;
+  for (int i = 0; i < 4; ++i) tl.add_tile(1000, 100);
+  // makespan = first transfer + 3 x max(100, 1000) + last compute.
+  EXPECT_EQ(tl.overlapped_cycles(), 1000u + 3u * 1000u + 100u);
+}
+
+TEST(DoubleBufferTimeline, OverlapNeverWorseThanSerialized) {
+  DoubleBufferTimeline tl;
+  std::uint64_t seed = 12345;
+  for (int i = 0; i < 20; ++i) {
+    seed = seed * 6364136223846793005ULL + 1;
+    tl.add_tile(seed % 400, (seed >> 16) % 700);
+  }
+  EXPECT_LE(tl.overlapped_cycles(), tl.serialized_cycles());
+}
+
+TEST(DoubleBufferTimeline, OverlapAtLeastMaxOfComputeAndTransfer) {
+  DoubleBufferTimeline tl;
+  tl.add_tile(300, 100);
+  tl.add_tile(50, 400);
+  tl.add_tile(200, 250);
+  EXPECT_GE(tl.overlapped_cycles(), tl.total_compute_cycles());
+  EXPECT_GE(tl.overlapped_cycles(), tl.total_transfer_cycles());
+}
+
+TEST(DoubleBufferTimeline, Totals) {
+  DoubleBufferTimeline tl;
+  tl.add_tile(10, 20);
+  tl.add_tile(30, 40);
+  EXPECT_EQ(tl.total_transfer_cycles(), 40u);
+  EXPECT_EQ(tl.total_compute_cycles(), 60u);
+  EXPECT_EQ(tl.tile_count(), 2u);
+}
+
+}  // namespace
+}  // namespace pulphd::sim

@@ -1,0 +1,64 @@
+#include "sim/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::sim {
+namespace {
+
+TEST(IsaCosts, AllKindsHaveNames) {
+  EXPECT_EQ(core_kind_name(CoreKind::kPulpV3Or1k), "PULPv3 (OR1K)");
+  EXPECT_EQ(core_kind_name(CoreKind::kWolfRv32), "Wolf (RV32)");
+  EXPECT_EQ(core_kind_name(CoreKind::kWolfRv32Builtin), "Wolf (RV32 + built-ins)");
+  EXPECT_EQ(core_kind_name(CoreKind::kArmCortexM4), "ARM Cortex-M4");
+}
+
+TEST(IsaCosts, OnlyWolfBuiltinHasBitManipulation) {
+  EXPECT_FALSE(isa_costs(CoreKind::kPulpV3Or1k).has_popcount);
+  EXPECT_FALSE(isa_costs(CoreKind::kPulpV3Or1k).has_bitfield);
+  EXPECT_FALSE(isa_costs(CoreKind::kWolfRv32).has_popcount);
+  EXPECT_FALSE(isa_costs(CoreKind::kArmCortexM4).has_popcount);
+  EXPECT_TRUE(isa_costs(CoreKind::kWolfRv32Builtin).has_popcount);
+  EXPECT_TRUE(isa_costs(CoreKind::kWolfRv32Builtin).has_bitfield);
+}
+
+TEST(IsaCosts, PopcountCostReflectsHardwareSupport) {
+  // p.cnt retires in 1 cycle (§5.1); the SWAR emulation costs the 16-op
+  // sequence on everything else.
+  EXPECT_EQ(isa_costs(CoreKind::kWolfRv32Builtin).popcount_cost(), 1u);
+  EXPECT_EQ(isa_costs(CoreKind::kPulpV3Or1k).popcount_cost(), 16u);
+  EXPECT_EQ(isa_costs(CoreKind::kWolfRv32).popcount_cost(), 16u);
+}
+
+TEST(IsaCosts, BitExtractCheaperOnM4BarrelShifter) {
+  // The M4 folds the shift into the mask ("load and shift", §4.2).
+  EXPECT_EQ(isa_costs(CoreKind::kArmCortexM4).bit_extract_cost(), 1u);
+  EXPECT_EQ(isa_costs(CoreKind::kPulpV3Or1k).bit_extract_cost(), 2u);
+  EXPECT_EQ(isa_costs(CoreKind::kWolfRv32Builtin).bit_extract_cost(), 1u);
+}
+
+TEST(IsaCosts, BitInsertCosts) {
+  EXPECT_EQ(isa_costs(CoreKind::kWolfRv32Builtin).bit_insert_cost(), 1u);
+  EXPECT_EQ(isa_costs(CoreKind::kPulpV3Or1k).bit_insert_cost(), 3u);
+  EXPECT_EQ(isa_costs(CoreKind::kArmCortexM4).bit_insert_cost(), 2u);
+}
+
+TEST(IsaCosts, WolfLoopMachineryCheaperThanPulpV3) {
+  // Hardware loops + fused compare-and-branch: the source of the 1.23x
+  // single-core gain (§5.1).
+  EXPECT_LT(isa_costs(CoreKind::kWolfRv32).loop_iter,
+            isa_costs(CoreKind::kPulpV3Or1k).loop_iter);
+}
+
+TEST(IsaCosts, SingleCycleBasics) {
+  for (const CoreKind kind : {CoreKind::kPulpV3Or1k, CoreKind::kWolfRv32,
+                              CoreKind::kWolfRv32Builtin, CoreKind::kArmCortexM4}) {
+    const IsaCostTable& isa = isa_costs(kind);
+    EXPECT_EQ(isa.alu, 1u);
+    EXPECT_EQ(isa.mul, 1u);
+    EXPECT_EQ(isa.load_l1, 1u);
+    EXPECT_EQ(isa.store_l1, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pulphd::sim

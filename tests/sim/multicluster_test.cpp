@@ -1,0 +1,64 @@
+#include "sim/multicluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::sim {
+namespace {
+
+MultiClusterConfig make(std::uint32_t clusters) {
+  MultiClusterConfig cfg;
+  cfg.cluster = ClusterConfig::wolf(8, true);
+  cfg.clusters = clusters;
+  return cfg;
+}
+
+TEST(MultiCluster, OneClusterIsIdentity) {
+  const auto e = make(1).scale(23000, 3400, 2200);
+  EXPECT_EQ(e.map_encode, 23000u);
+  EXPECT_EQ(e.am, 3400u);
+}
+
+TEST(MultiCluster, TotalCores) {
+  EXPECT_EQ(make(4).total_cores(), 32u);
+  EXPECT_EQ(make(8).total_cores(), 64u);
+}
+
+TEST(MultiCluster, EncoderScalesAcrossClusters) {
+  const auto one = make(1).scale(480000, 40000, 2200);
+  const auto four = make(4).scale(480000, 40000, 2200);
+  const double speedup = static_cast<double>(one.map_encode) /
+                         static_cast<double>(four.map_encode);
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LE(speedup, 4.0);
+}
+
+TEST(MultiCluster, AmReductionSaturates) {
+  // The AM kernel's inter-cluster reduction rounds grow with log2(C), so
+  // its speed-up saturates well before the encoder's — the same pattern
+  // Table 3 shows inside one cluster.
+  const auto base = make(1).scale(480000, 40000, 2200);
+  const auto c8 = make(8).scale(480000, 40000, 2200);
+  const double enc_sp = static_cast<double>(base.map_encode) /
+                        static_cast<double>(c8.map_encode);
+  const double am_sp = static_cast<double>(base.am) / static_cast<double>(c8.am);
+  EXPECT_GT(enc_sp, am_sp);
+  EXPECT_GT(am_sp, 2.0);
+}
+
+TEST(MultiCluster, DiminishingReturnsForSmallWorkloads) {
+  // A small per-classification workload stops improving once the constant
+  // inter-cluster costs dominate.
+  const auto c2 = make(2).scale(26000, 3400, 2200);
+  const auto c16 = make(16).scale(26000, 3400, 2200);
+  const double gain = static_cast<double>(c2.total()) / static_cast<double>(c16.total());
+  EXPECT_LT(gain, 4.0);  // nowhere near the 8x core-count ratio
+}
+
+TEST(MultiCluster, RejectsZeroClusters) {
+  MultiClusterConfig cfg = make(1);
+  cfg.clusters = 0;
+  EXPECT_THROW((void)cfg.scale(1000, 100, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulphd::sim

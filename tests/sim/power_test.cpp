@@ -1,0 +1,107 @@
+#include "sim/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::sim {
+namespace {
+
+// The four measurement rows of Table 2. Tolerances are a few percent: the
+// model is an analytic fit of the published numbers.
+TEST(PowerModel, Table2ArmCortexM4Row) {
+  const PowerModel m4 = PowerModel::arm_cortex_m4();
+  const PowerBreakdown p = m4.power(1, {.voltage = 1.85, .freq_mhz = 43.9});
+  EXPECT_NEAR(p.total_mw(), 20.83, 0.05);
+}
+
+TEST(PowerModel, Table2PulpV3SingleCoreRow) {
+  const PowerModel pulp = PowerModel::pulpv3();
+  const PowerBreakdown p = pulp.power(1, {.voltage = 0.7, .freq_mhz = 53.3});
+  EXPECT_NEAR(p.fll_mw, 1.45, 0.001);   // FLL column
+  EXPECT_NEAR(p.soc_mw, 0.87, 0.01);    // P SOC column
+  EXPECT_NEAR(p.cluster_mw, 1.90, 0.02);  // P CLUSTER column
+  EXPECT_NEAR(p.total_mw(), 4.22, 0.03);  // P TOT column
+}
+
+TEST(PowerModel, Table2PulpV3QuadCore07VRow) {
+  const PowerModel pulp = PowerModel::pulpv3();
+  const PowerBreakdown p = pulp.power(4, {.voltage = 0.7, .freq_mhz = 14.3});
+  EXPECT_NEAR(p.soc_mw, 0.23, 0.01);
+  EXPECT_NEAR(p.cluster_mw, 0.88, 0.02);
+  EXPECT_NEAR(p.total_mw(), 2.56, 0.03);
+}
+
+TEST(PowerModel, Table2PulpV3QuadCore05VRow) {
+  const PowerModel pulp = PowerModel::pulpv3();
+  const PowerBreakdown p = pulp.power(4, {.voltage = 0.5, .freq_mhz = 14.3});
+  EXPECT_NEAR(p.cluster_mw, 0.42, 0.03);
+  EXPECT_NEAR(p.total_mw(), 2.10, 0.05);
+}
+
+TEST(PowerModel, PowerBoostRatiosMatchTable2) {
+  const PowerModel m4 = PowerModel::arm_cortex_m4();
+  const PowerModel pulp = PowerModel::pulpv3();
+  const double arm = m4.power(1, {.voltage = 1.85, .freq_mhz = 43.9}).total_mw();
+  const double one_core = pulp.power(1, {.voltage = 0.7, .freq_mhz = 53.3}).total_mw();
+  const double quad_07 = pulp.power(4, {.voltage = 0.7, .freq_mhz = 14.3}).total_mw();
+  const double quad_05 = pulp.power(4, {.voltage = 0.5, .freq_mhz = 14.3}).total_mw();
+  EXPECT_NEAR(arm / one_core, 4.9, 0.15);   // P BOOST column
+  EXPECT_NEAR(arm / quad_07, 8.1, 0.25);
+  EXPECT_NEAR(arm / quad_05, 9.9, 0.35);
+}
+
+TEST(PowerModel, TwoXEnergySavingFourCoresVsOne) {
+  // §1: "3.7x end-to-end speed-up and 2x energy saving compared to its
+  // single-core execution". Energy at the 10 ms latency target.
+  const PowerModel pulp = PowerModel::pulpv3();
+  const double e1 = pulp.energy_uj(533000, 1, {.voltage = 0.7, .freq_mhz = 53.3});
+  const double e4 = pulp.energy_uj(143000, 4, {.voltage = 0.5, .freq_mhz = 14.3});
+  EXPECT_NEAR(e1 / e4, 2.0, 0.15);
+}
+
+TEST(PowerModel, LowPowerFllProjection) {
+  // §4.2: a 4x lower-power FLL [1] would roughly halve total system power
+  // at the 4-core 0.5 V operating point.
+  const PowerModel base = PowerModel::pulpv3();
+  const PowerModel next = PowerModel::pulpv3_lowpower_fll();
+  const OperatingPoint op{.voltage = 0.5, .freq_mhz = 14.3};
+  const double ratio = base.power(4, op).total_mw() / next.power(4, op).total_mw();
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.3);
+}
+
+TEST(PowerModel, RequiredFrequencyForLatency) {
+  // 533 k cycles in 10 ms -> 53.3 MHz (Table 2, row 2).
+  EXPECT_NEAR(PowerModel::required_freq_mhz(533000, 10.0), 53.3, 0.01);
+  EXPECT_NEAR(PowerModel::required_freq_mhz(143000, 10.0), 14.3, 0.01);
+  EXPECT_THROW((void)PowerModel::required_freq_mhz(1000, 0.0), std::invalid_argument);
+}
+
+TEST(PowerModel, EnergyScalesWithCyclesAtFixedPoint) {
+  const PowerModel pulp = PowerModel::pulpv3();
+  const OperatingPoint op{.voltage = 0.7, .freq_mhz = 50.0};
+  EXPECT_NEAR(pulp.energy_uj(2000000, 1, op) / pulp.energy_uj(1000000, 1, op), 2.0,
+              1e-9);
+}
+
+TEST(PowerModel, VoltageScalingReducesClusterPower) {
+  const PowerModel pulp = PowerModel::pulpv3();
+  const double hi = pulp.power(4, {.voltage = 0.7, .freq_mhz = 20.0}).cluster_mw;
+  const double lo = pulp.power(4, {.voltage = 0.5, .freq_mhz = 20.0}).cluster_mw;
+  EXPECT_LT(lo, hi * 0.6);
+}
+
+TEST(PowerModel, MaxFrequencies) {
+  EXPECT_DOUBLE_EQ(PowerModel::arm_cortex_m4().max_freq_mhz(), 168.0);  // STM32F407
+  EXPECT_GT(PowerModel::wolf().max_freq_mhz(), PowerModel::pulpv3().max_freq_mhz());
+}
+
+TEST(PowerModel, ValidatesArguments) {
+  const PowerModel pulp = PowerModel::pulpv3();
+  EXPECT_THROW((void)pulp.power(0, {.voltage = 0.7, .freq_mhz = 10.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pulp.power(1, {.voltage = 0.7, .freq_mhz = 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulphd::sim

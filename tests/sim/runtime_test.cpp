@@ -1,0 +1,127 @@
+#include "sim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pulphd::sim {
+namespace {
+
+class StaticChunkTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(StaticChunkTest, PartitionCoversRangeExactlyOnce) {
+  const auto [total, cores] = GetParam();
+  std::vector<int> covered(total, 0);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    const auto [begin, end] = static_chunk(total, cores, c);
+    EXPECT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) ++covered[i];
+  }
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(covered[i], 1) << "index " << i;
+}
+
+TEST_P(StaticChunkTest, ChunksAreBalanced) {
+  const auto [total, cores] = GetParam();
+  std::size_t min_size = total + 1;
+  std::size_t max_size = 0;
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    const auto [begin, end] = static_chunk(total, cores, c);
+    min_size = std::min(min_size, end - begin);
+    max_size = std::max(max_size, end - begin);
+  }
+  EXPECT_LE(max_size - min_size, 1u);  // OpenMP static: off by at most one
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaticChunkTest,
+    ::testing::Combine(::testing::Values(0ul, 1ul, 5ul, 8ul, 313ul, 10000ul),
+                       ::testing::Values(1u, 2u, 3u, 4u, 8u)));
+
+TEST(ParallelRuntime, MakespanIsSlowestCore) {
+  const ClusterConfig cfg = ClusterConfig::wolf(4, true);
+  const ParallelRuntime rt(cfg);
+  const RegionResult r = rt.parallel_for(100, [](CoreContext& ctx, std::size_t b,
+                                                 std::size_t e) {
+    ctx.alu(10 * (e - b));
+  });
+  ASSERT_EQ(r.per_core_cycles.size(), 4u);
+  EXPECT_EQ(r.makespan_cycles, *std::max_element(r.per_core_cycles.begin(),
+                                                 r.per_core_cycles.end()));
+  EXPECT_EQ(r.makespan_cycles, 250u);  // 25 items * 10 cycles
+}
+
+TEST(ParallelRuntime, OverheadReportedSeparately) {
+  const ClusterConfig multi = ClusterConfig::pulpv3(4);
+  const ParallelRuntime rt(multi);
+  const RegionResult r = rt.parallel_for(8, [](CoreContext& ctx, std::size_t b,
+                                               std::size_t e) {
+    ctx.alu(e - b);
+  });
+  EXPECT_EQ(r.overhead_cycles, multi.fork_join_cycles);
+
+  const ClusterConfig single = ClusterConfig::pulpv3(1);
+  const ParallelRuntime rt1(single);
+  const RegionResult r1 = rt1.parallel_for(8, [](CoreContext& ctx, std::size_t b,
+                                                 std::size_t e) {
+    ctx.alu(e - b);
+  });
+  EXPECT_EQ(r1.overhead_cycles, 0u);  // no fork on one core
+}
+
+TEST(ParallelRuntime, PerfectBalanceOnDivisibleWork) {
+  const ParallelRuntime rt(ClusterConfig::wolf(8, true));
+  const RegionResult r = rt.parallel_for(800, [](CoreContext& ctx, std::size_t b,
+                                                 std::size_t e) {
+    ctx.alu(e - b);
+  });
+  EXPECT_DOUBLE_EQ(r.balance(), 1.0);
+}
+
+TEST(ParallelRuntime, ImbalanceDetected) {
+  // 9 items on 8 cores: one core does 2, seven do 1.
+  const ParallelRuntime rt(ClusterConfig::wolf(8, true));
+  const RegionResult r = rt.parallel_for(9, [](CoreContext& ctx, std::size_t b,
+                                               std::size_t e) {
+    ctx.alu(100 * (e - b));
+  });
+  EXPECT_LT(r.balance(), 1.0);
+  EXPECT_GT(r.balance(), 0.5);
+}
+
+TEST(ParallelRuntime, EmptyChunksDontRunBody) {
+  const ParallelRuntime rt(ClusterConfig::wolf(8, true));
+  int calls = 0;
+  const RegionResult r = rt.parallel_for(3, [&calls](CoreContext& ctx, std::size_t b,
+                                                     std::size_t e) {
+    ++calls;
+    ctx.alu(e - b);
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(r.per_core_cycles.size(), 8u);  // all cores accounted, 5 idle
+}
+
+TEST(ParallelRuntime, SerialRunsOnOneCoreWithoutContention) {
+  const ParallelRuntime rt(ClusterConfig::pulpv3(4));
+  const std::uint64_t cycles = rt.serial([](CoreContext& ctx) { ctx.load_l1(100); });
+  EXPECT_EQ(cycles, 100u);  // no banking conflicts in a serial section
+}
+
+TEST(ParallelRuntime, ScalingIsNearIdealForLargeWork) {
+  // "the accelerator can scale perfectly among multiple cores" (§5.1).
+  const auto run = [](std::uint32_t cores) {
+    const ClusterConfig cfg = ClusterConfig::wolf(cores, true);
+    const ParallelRuntime rt(cfg);
+    return rt
+        .parallel_for(10000,
+                      [](CoreContext& ctx, std::size_t b, std::size_t e) {
+                        ctx.alu(50 * (e - b));
+                      })
+        .makespan_cycles;
+  };
+  const double speedup = static_cast<double>(run(1)) / static_cast<double>(run(8));
+  EXPECT_NEAR(speedup, 8.0, 0.01);
+}
+
+}  // namespace
+}  // namespace pulphd::sim

@@ -1,0 +1,93 @@
+#include "svm/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulphd::svm {
+namespace {
+
+hd::Trial constant_trial(std::size_t samples, std::vector<float> values) {
+  return hd::Trial(samples, values);
+}
+
+TEST(WindowFeatures, CountsWindows) {
+  const WindowConfig cfg{.window_samples = 100, .stride_samples = 50, .normalization = 21.0};
+  const hd::Trial t = constant_trial(400, {1.0f, 2.0f});
+  // starts: 0, 50, ..., 300 -> 7 windows.
+  EXPECT_EQ(extract_window_features(t, cfg).size(), 7u);
+}
+
+TEST(WindowFeatures, ShortTrialGivesNothing) {
+  const WindowConfig cfg{.window_samples = 100, .stride_samples = 50, .normalization = 21.0};
+  EXPECT_TRUE(extract_window_features(constant_trial(99, {1.0f}), cfg).empty());
+}
+
+TEST(WindowFeatures, MeansAreNormalized) {
+  const WindowConfig cfg{.window_samples = 10, .stride_samples = 10, .normalization = 21.0};
+  const hd::Trial t = constant_trial(20, {10.5f, 21.0f});
+  const auto feats = extract_window_features(t, cfg);
+  ASSERT_EQ(feats.size(), 2u);
+  EXPECT_NEAR(feats[0][0], 0.5, 1e-6);
+  EXPECT_NEAR(feats[0][1], 1.0, 1e-6);
+}
+
+TEST(WindowFeatures, AveragesWithinWindow) {
+  const WindowConfig cfg{.window_samples = 2, .stride_samples = 2, .normalization = 1.0};
+  hd::Trial t;
+  t.push_back({0.0f});
+  t.push_back({1.0f});
+  const auto feats = extract_window_features(t, cfg);
+  ASSERT_EQ(feats.size(), 1u);
+  EXPECT_NEAR(feats[0][0], 0.5, 1e-6);
+}
+
+TEST(WindowFeatures, Validates) {
+  const hd::Trial t = constant_trial(100, {1.0f});
+  WindowConfig cfg;
+  cfg.window_samples = 0;
+  EXPECT_THROW((void)extract_window_features(t, cfg), std::invalid_argument);
+  cfg = WindowConfig{};
+  cfg.stride_samples = 0;
+  EXPECT_THROW((void)extract_window_features(t, cfg), std::invalid_argument);
+}
+
+TEST(TrainingSet, LabelsFollowTrials) {
+  const WindowConfig cfg{.window_samples = 50, .stride_samples = 50, .normalization = 21.0};
+  const hd::Trial a = constant_trial(100, {1.0f});
+  const hd::Trial b = constant_trial(150, {2.0f});
+  const TrainingSet set = build_training_set({&a, &b}, {3, 1}, cfg);
+  ASSERT_EQ(set.features.size(), 2u + 3u);
+  EXPECT_EQ(set.labels[0], 3u);
+  EXPECT_EQ(set.labels[1], 3u);
+  EXPECT_EQ(set.labels[2], 1u);
+}
+
+TEST(PredictTrial, MajorityVoteOverWindows) {
+  // Train a trivial 1-D two-class model, then feed a trial whose windows
+  // mostly belong to class 1.
+  std::vector<FeatureVector> x;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back({0.1 + 0.001 * i});
+    labels.push_back(0);
+    x.push_back({0.9 - 0.001 * i});
+    labels.push_back(1);
+  }
+  const MulticlassSvm model = MulticlassSvm::train(x, labels, 2, KernelConfig{}, SmoConfig{});
+  const WindowConfig cfg{.window_samples = 10, .stride_samples = 10, .normalization = 1.0};
+  hd::Trial trial;
+  for (int i = 0; i < 30; ++i) trial.push_back({0.9f});  // 3 windows of class 1
+  for (int i = 0; i < 10; ++i) trial.push_back({0.1f});  // 1 window of class 0
+  EXPECT_EQ(predict_trial(model, trial, cfg), 1u);
+}
+
+TEST(PredictTrial, RejectsTooShortTrials) {
+  std::vector<FeatureVector> x{{0.1}, {0.9}};
+  std::vector<std::size_t> labels{0, 1};
+  const MulticlassSvm model = MulticlassSvm::train(x, labels, 2, KernelConfig{}, SmoConfig{});
+  const WindowConfig cfg{.window_samples = 100, .stride_samples = 50, .normalization = 1.0};
+  EXPECT_THROW((void)predict_trial(model, constant_trial(50, {0.5f}), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulphd::svm

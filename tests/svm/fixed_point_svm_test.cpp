@@ -1,0 +1,118 @@
+#include "svm/fixed_point_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pulphd::svm {
+namespace {
+
+/// Three-class RBF model on 4-D features in [0, 1] (the EMG feature shape).
+MulticlassSvm toy_model(std::uint64_t seed = 1) {
+  std::vector<FeatureVector> x;
+  std::vector<std::size_t> labels;
+  Xoshiro256StarStar rng(seed);
+  const double centers[3][4] = {
+      {0.2, 0.8, 0.3, 0.5}, {0.7, 0.2, 0.6, 0.4}, {0.5, 0.5, 0.9, 0.8}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      FeatureVector f(4);
+      for (int d = 0; d < 4; ++d) f[d] = centers[c][d] + 0.05 * rng.next_gaussian();
+      x.push_back(std::move(f));
+      labels.push_back(c);
+    }
+  }
+  KernelConfig k;
+  k.rbf_gamma = 8.0;
+  return MulticlassSvm::train(x, labels, 3, k, SmoConfig{});
+}
+
+TEST(ExpLut, IsMonotoneDecreasing) {
+  const auto& lut = exp_lut();
+  for (std::size_t i = 1; i < lut.size(); ++i) {
+    EXPECT_LE(lut[i].raw(), lut[i - 1].raw());
+  }
+  EXPECT_NEAR(lut[0].to_double(), 1.0, 0.03);
+  EXPECT_NEAR(lut[255].to_double(), 0.0, 0.01);
+}
+
+TEST(ExpLut, ApproximatesExp) {
+  const auto& lut = exp_lut();
+  for (const std::size_t i : {0ul, 32ul, 64ul, 128ul, 200ul}) {
+    const double u = (static_cast<double>(i) + 0.5) * 8.0 / 256.0;
+    EXPECT_NEAR(lut[i].to_double(), std::exp(-u), 0.01);
+  }
+}
+
+TEST(Quantized, AgreesWithDoublePrecisionModel) {
+  // §4.1 / [13]: fixed point "preserving the accuracy".
+  const MulticlassSvm model = toy_model();
+  const QuantizedMulticlassSvm quantized = QuantizedMulticlassSvm::from_model(model);
+  Xoshiro256StarStar rng(2);
+  std::size_t agree = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    FeatureVector f(4);
+    for (auto& v : f) v = rng.next_double();
+    agree += quantized.predict(f) == model.predict(f);
+  }
+  EXPECT_GE(agree, n * 95 / 100);  // >= 95% vote agreement on random probes
+}
+
+TEST(Quantized, ExactAgreementNearTrainingCenters) {
+  const MulticlassSvm model = toy_model();
+  const QuantizedMulticlassSvm quantized = QuantizedMulticlassSvm::from_model(model);
+  const double centers[3][4] = {
+      {0.2, 0.8, 0.3, 0.5}, {0.7, 0.2, 0.6, 0.4}, {0.5, 0.5, 0.9, 0.8}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const FeatureVector f(centers[c], centers[c] + 4);
+    EXPECT_EQ(quantized.predict(f), c);
+  }
+}
+
+TEST(Quantized, PreservesSupportVectorCounts) {
+  const MulticlassSvm model = toy_model();
+  const QuantizedMulticlassSvm quantized = QuantizedMulticlassSvm::from_model(model);
+  EXPECT_EQ(quantized.total_support_vectors(), model.total_support_vectors());
+  EXPECT_EQ(quantized.machines().size(), model.machine_count());
+}
+
+TEST(Quantized, AlphaScaleIsPositive) {
+  const QuantizedMulticlassSvm quantized = QuantizedMulticlassSvm::from_model(toy_model());
+  for (const auto& m : quantized.machines()) {
+    EXPECT_GT(m.alpha_scale, 0.0);
+  }
+}
+
+TEST(M4Cycles, ScalesWithSupportVectors) {
+  // The cycle model must be linear in the SV count at fixed dims.
+  const std::uint64_t c10 = m4_inference_cycles_for(10, 10, 4);
+  const std::uint64_t c20 = m4_inference_cycles_for(10, 20, 4);
+  const std::uint64_t c40 = m4_inference_cycles_for(10, 40, 4);
+  EXPECT_NEAR(static_cast<double>(c40 - c20) / static_cast<double>(c20 - c10), 2.0, 0.01);
+}
+
+TEST(M4Cycles, PaperParityConfiguration) {
+  // Table 1: SVM at 25.10 k cycles. The paper's configuration (10 one-vs-one
+  // machines at the smallest subject's 55 SVs, 4-D features) must land near
+  // that within the model tolerance.
+  const std::uint64_t cycles = m4_inference_cycles_for(10, 55, 4);
+  EXPECT_NEAR(static_cast<double>(cycles) / 25100.0, 1.0, 0.20);
+}
+
+TEST(M4Cycles, MatchesModelAccounting) {
+  const MulticlassSvm model = toy_model();
+  const QuantizedMulticlassSvm quantized = QuantizedMulticlassSvm::from_model(model);
+  const std::uint64_t measured = m4_inference_cycles(quantized, 4);
+  // Equivalent uniform configuration brackets the per-machine sum.
+  const std::size_t total_svs = quantized.total_support_vectors();
+  const std::uint64_t upper =
+      m4_inference_cycles_for(1, total_svs, 4) + 10 * m4_inference_cycles_for(1, 0, 4);
+  EXPECT_GT(measured, m4_inference_cycles_for(1, total_svs, 4));
+  EXPECT_LT(measured, upper + 1000);
+}
+
+}  // namespace
+}  // namespace pulphd::svm

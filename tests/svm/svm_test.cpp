@@ -1,0 +1,175 @@
+#include "svm/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pulphd::svm {
+namespace {
+
+/// Linearly separable 2-D blobs around (0,0) and (1,1).
+struct Blobs {
+  std::vector<FeatureVector> x;
+  std::vector<int> y;
+};
+
+Blobs make_blobs(std::size_t per_class, double spread, std::uint64_t seed) {
+  Blobs b;
+  Xoshiro256StarStar rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    b.x.push_back({rng.next_gaussian() * spread, rng.next_gaussian() * spread});
+    b.y.push_back(+1);
+    b.x.push_back({1.0 + rng.next_gaussian() * spread, 1.0 + rng.next_gaussian() * spread});
+    b.y.push_back(-1);
+  }
+  return b;
+}
+
+TEST(KernelConfig, LinearKernelIsDotProduct) {
+  KernelConfig k;
+  k.type = KernelType::kLinear;
+  const FeatureVector a{1.0, 2.0, 3.0};
+  const FeatureVector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(k(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(KernelConfig, RbfKernelProperties) {
+  KernelConfig k;
+  k.type = KernelType::kRbf;
+  k.rbf_gamma = 2.0;
+  const FeatureVector a{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);  // K(x,x) = 1
+  const FeatureVector b{0.6, 0.5};
+  const FeatureVector c{1.5, 0.5};
+  EXPECT_GT(k(a, b), k(a, c));  // closer points have larger kernel values
+  EXPECT_GT(k(a, c), 0.0);
+  EXPECT_THROW((void)k(a, FeatureVector{1.0}), std::invalid_argument);
+}
+
+TEST(TrainBinary, SeparatesLinearBlobs) {
+  const Blobs b = make_blobs(30, 0.15, 1);
+  KernelConfig k;
+  k.type = KernelType::kLinear;
+  const BinarySvm model = train_binary(b.x, b.y, k, SmoConfig{});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < b.x.size(); ++i) {
+    correct += (model.decision(b.x[i]) >= 0 ? 1 : -1) == b.y[i];
+  }
+  EXPECT_EQ(correct, b.x.size());
+}
+
+TEST(TrainBinary, RbfSolvesXorPattern) {
+  // XOR is the classic linearly-inseparable case; the RBF kernel must nail it.
+  std::vector<FeatureVector> x;
+  std::vector<int> y;
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 40; ++i) {
+    const double a = rng.next_bernoulli(0.5) ? 0.0 : 1.0;
+    const double b = rng.next_bernoulli(0.5) ? 0.0 : 1.0;
+    x.push_back({a + 0.05 * rng.next_gaussian(), b + 0.05 * rng.next_gaussian()});
+    y.push_back((a != b) ? +1 : -1);
+  }
+  KernelConfig k;
+  k.rbf_gamma = 4.0;
+  const BinarySvm model = train_binary(x, y, k, SmoConfig{});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    correct += (model.decision(x[i]) >= 0 ? 1 : -1) == y[i];
+  }
+  EXPECT_GE(correct, x.size() - 2);
+}
+
+TEST(TrainBinary, KeepsOnlySupportVectors) {
+  const Blobs b = make_blobs(50, 0.1, 3);
+  KernelConfig k;
+  k.type = KernelType::kLinear;
+  const BinarySvm model = train_binary(b.x, b.y, k, SmoConfig{});
+  // Well-separated blobs: most points are not on the margin.
+  EXPECT_LT(model.support_vectors.size(), b.x.size() / 2);
+  EXPECT_GT(model.support_vectors.size(), 0u);
+  EXPECT_EQ(model.support_vectors.size(), model.alpha_y.size());
+}
+
+TEST(TrainBinary, IsDeterministic) {
+  const Blobs b = make_blobs(20, 0.2, 4);
+  const BinarySvm m1 = train_binary(b.x, b.y, KernelConfig{}, SmoConfig{});
+  const BinarySvm m2 = train_binary(b.x, b.y, KernelConfig{}, SmoConfig{});
+  EXPECT_EQ(m1.support_vectors.size(), m2.support_vectors.size());
+  EXPECT_DOUBLE_EQ(m1.bias, m2.bias);
+}
+
+TEST(TrainBinary, ValidatesInput) {
+  std::vector<FeatureVector> x{{0.0}, {1.0}};
+  std::vector<int> bad_labels{1, 2};
+  EXPECT_THROW((void)train_binary(x, bad_labels, KernelConfig{}, SmoConfig{}),
+               std::invalid_argument);
+  std::vector<int> short_labels{1};
+  EXPECT_THROW((void)train_binary(x, short_labels, KernelConfig{}, SmoConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Multiclass, SolvesThreeBlobProblem) {
+  std::vector<FeatureVector> x;
+  std::vector<std::size_t> labels;
+  Xoshiro256StarStar rng(5);
+  const double centers[3][2] = {{0.0, 0.0}, {1.0, 0.0}, {0.5, 1.0}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 25; ++i) {
+      x.push_back({centers[c][0] + 0.1 * rng.next_gaussian(),
+                   centers[c][1] + 0.1 * rng.next_gaussian()});
+      labels.push_back(c);
+    }
+  }
+  const MulticlassSvm model = MulticlassSvm::train(x, labels, 3, KernelConfig{}, SmoConfig{});
+  EXPECT_EQ(model.machine_count(), 3u);  // C(3,2)
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) correct += model.predict(x[i]) == labels[i];
+  EXPECT_GE(correct, x.size() - 2);
+}
+
+TEST(Multiclass, MachineCountIsPairwise) {
+  std::vector<FeatureVector> x;
+  std::vector<std::size_t> labels;
+  Xoshiro256StarStar rng(6);
+  for (std::size_t c = 0; c < 5; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      x.push_back({static_cast<double>(c) + 0.05 * rng.next_gaussian()});
+      labels.push_back(c);
+    }
+  }
+  const MulticlassSvm model = MulticlassSvm::train(x, labels, 5, KernelConfig{}, SmoConfig{});
+  EXPECT_EQ(model.machine_count(), 10u);  // the paper's 5-class setup
+}
+
+TEST(Multiclass, SupportVectorStatistics) {
+  std::vector<FeatureVector> x;
+  std::vector<std::size_t> labels;
+  Xoshiro256StarStar rng(7);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      x.push_back({static_cast<double>(c) + 0.3 * rng.next_gaussian()});
+      labels.push_back(c);
+    }
+  }
+  const MulticlassSvm model = MulticlassSvm::train(x, labels, 3, KernelConfig{}, SmoConfig{});
+  EXPECT_GE(model.total_support_vectors(), model.max_support_vectors());
+  EXPECT_GT(model.max_support_vectors(), 0u);
+}
+
+TEST(Multiclass, ValidatesInput) {
+  std::vector<FeatureVector> x{{0.0}, {1.0}};
+  std::vector<std::size_t> labels{0, 5};
+  EXPECT_THROW((void)MulticlassSvm::train(x, labels, 3, KernelConfig{}, SmoConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)MulticlassSvm::train(x, std::vector<std::size_t>{0, 1}, 1,
+                                          KernelConfig{}, SmoConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Multiclass, PredictOnUntrainedThrows) {
+  MulticlassSvm model;
+  EXPECT_THROW((void)model.predict(FeatureVector{0.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pulphd::svm

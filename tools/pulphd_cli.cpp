@@ -1,0 +1,178 @@
+// pulphd — command-line front-end for the library.
+//
+//   pulphd train <model.phd> [--dim D] [--subject S] [--seed X]
+//       Generates the synthetic EMG dataset, trains one subject's HD model
+//       under the paper's protocol and saves it.
+//
+//   pulphd info <model.phd>
+//       Prints the model's configuration and memory footprint.
+//
+//   pulphd eval <model.phd> [--subject S]
+//       Re-evaluates the saved model on its subject's test split.
+//
+//   pulphd price <model.phd>
+//       Prices one classification on every platform of the paper (cycles,
+//       frequency for 10 ms latency, power).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "emg/protocol.hpp"
+#include "hd/serialization.hpp"
+#include "kernels/chain.hpp"
+#include "sim/power.hpp"
+
+namespace {
+
+using namespace pulphd;
+
+struct Options {
+  std::string command;
+  std::string model_path;
+  std::size_t dim = 10000;
+  std::size_t subject = 0;
+  std::uint64_t seed = emg::GeneratorConfig{}.seed;
+};
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: pulphd <train|info|eval|price> <model.phd> "
+      "[--dim D] [--subject S] [--seed X]\n",
+      stderr);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 3) usage();
+  Options opt;
+  opt.command = argv[1];
+  opt.model_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) usage();
+    const char* value = argv[++i];
+    if (flag == "--dim") {
+      opt.dim = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--subject") {
+      opt.subject = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value, nullptr, 0);
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+emg::EmgDataset dataset_for(const Options& opt) {
+  emg::GeneratorConfig gen;
+  gen.seed = opt.seed;
+  return emg::generate_dataset(gen);
+}
+
+int cmd_train(const Options& opt) {
+  std::printf("generating synthetic EMG dataset (seed 0x%llx)...\n",
+              static_cast<unsigned long long>(opt.seed));
+  const emg::EmgDataset ds = dataset_for(opt);
+  std::printf("training subject %zu at %zu-D...\n", opt.subject, opt.dim);
+  const hd::HdClassifier clf = emg::train_hd_subject(ds, opt.subject, opt.dim);
+  hd::save_model_file(clf, opt.model_path);
+  std::printf("saved %s\n", opt.model_path.c_str());
+  return 0;
+}
+
+int cmd_info(const Options& opt) {
+  const hd::ClassifierModel model = hd::load_model_file(opt.model_path);
+  const hd::HdClassifier clf = hd::classifier_from_model(model);
+  const hd::ModelFootprint fp = clf.footprint();
+  TextTable t("Model " + opt.model_path);
+  t.set_header({"field", "value"});
+  t.add_row({"dimension", std::to_string(model.config.dim)});
+  t.add_row({"packed words / hypervector", std::to_string(words_for_dim(model.config.dim))});
+  t.add_row({"channels", std::to_string(model.config.channels)});
+  t.add_row({"CIM levels", std::to_string(model.config.levels)});
+  t.add_row({"value range", fmt_double(model.config.min_value, 1) + " .. " +
+                                fmt_double(model.config.max_value, 1)});
+  t.add_row({"N-gram", std::to_string(model.config.ngram)});
+  t.add_row({"classes", std::to_string(model.config.classes)});
+  t.add_row({"IM", fmt_kib(static_cast<double>(fp.im_bytes))});
+  t.add_row({"CIM", fmt_kib(static_cast<double>(fp.cim_bytes))});
+  t.add_row({"AM", fmt_kib(static_cast<double>(fp.am_bytes))});
+  t.add_row({"total (with L1 buffers)", fmt_kib(static_cast<double>(fp.total()))});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_eval(const Options& opt) {
+  const hd::ClassifierModel model = hd::load_model_file(opt.model_path);
+  const hd::HdClassifier clf = hd::classifier_from_model(model);
+  const emg::EmgDataset ds = dataset_for(opt);
+  const emg::ProtocolConfig protocol;
+  const auto split = ds.split(opt.subject, protocol.train_fraction);
+  hd::ConfusionMatrix cm(model.config.classes);
+  for (const emg::EmgTrial* trial : split.test) {
+    cm.record(trial->label,
+              clf.predict(emg::active_segment(trial->envelope, protocol)).label);
+  }
+  std::vector<std::string> names;
+  for (std::size_t g = 0; g < emg::kGestureCount; ++g) names.push_back(emg::gesture_name(g));
+  std::fputs(cm.to_string(names).c_str(), stdout);
+  std::printf("accuracy: %s on %zu trials (subject %zu)\n",
+              fmt_percent(cm.accuracy()).c_str(), cm.total(), opt.subject);
+  return 0;
+}
+
+int cmd_price(const Options& opt) {
+  const hd::ClassifierModel model = hd::load_model_file(opt.model_path);
+  const hd::HdClassifier clf = hd::classifier_from_model(model);
+  std::vector<hd::Sample> window;
+  for (std::size_t i = 0; i < model.config.ngram; ++i) {
+    window.push_back(hd::Sample(model.config.channels, 5.0f));
+  }
+  TextTable t("One classification of " + opt.model_path + " per platform");
+  t.set_header({"platform", "cycles(k)", "MHz @ 10 ms", "power (mW)"});
+  struct Row {
+    sim::ClusterConfig cluster;
+    sim::PowerModel power;
+    double voltage;
+    std::uint32_t cores;
+    bool dma;
+  };
+  const std::vector<Row> rows = {
+      {sim::ClusterConfig::arm_cortex_m4(), sim::PowerModel::arm_cortex_m4(), 1.85, 1,
+       false},
+      {sim::ClusterConfig::pulpv3(1), sim::PowerModel::pulpv3(), 0.7, 1, true},
+      {sim::ClusterConfig::pulpv3(4), sim::PowerModel::pulpv3(), 0.5, 4, true},
+      {sim::ClusterConfig::wolf(8, true), sim::PowerModel::wolf(), 0.7, 8, true},
+  };
+  for (const Row& row : rows) {
+    kernels::ChainConfig cc;
+    cc.model_dma = row.dma;
+    const kernels::ProcessingChain chain(row.cluster, clf, cc);
+    const std::uint64_t cycles = chain.classify(window).cycles.total();
+    const double freq = sim::PowerModel::required_freq_mhz(cycles, 10.0);
+    const double mw =
+        row.power.power(row.cores, {.voltage = row.voltage, .freq_mhz = freq}).total_mw();
+    t.add_row({row.cluster.name, fmt_cycles_k(static_cast<double>(cycles)),
+               fmt_double(freq, 1), fmt_mw(mw)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    if (opt.command == "train") return cmd_train(opt);
+    if (opt.command == "info") return cmd_info(opt);
+    if (opt.command == "eval") return cmd_eval(opt);
+    if (opt.command == "price") return cmd_price(opt);
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pulphd: %s\n", e.what());
+    return 1;
+  }
+}
