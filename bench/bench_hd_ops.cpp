@@ -3,9 +3,11 @@
 // tables; a sanity harness for the golden model's performance).
 #include <benchmark/benchmark.h>
 
+#include "hd/associative_memory.hpp"
 #include "hd/encoder.hpp"
 #include "hd/item_memory.hpp"
 #include "hd/ops.hpp"
+#include "kernels/primitives.hpp"
 
 namespace {
 
@@ -93,6 +95,72 @@ void BM_BundleAccumulate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BundleAccumulate);
+
+// The AM inference hot path: per-query loop vs. the word-parallel batch
+// kernel. items_processed is queries, so the reported items/s is the
+// classify throughput in queries/sec.
+
+hd::AssociativeMemory trained_am(std::size_t classes, std::size_t dim) {
+  hd::AssociativeMemory am(classes, dim, 0xbadc0ffeULL);
+  Xoshiro256StarStar rng(11);
+  for (std::size_t c = 0; c < classes; ++c) {
+    am.train(c, Hypervector::random(dim, rng));
+  }
+  return am;
+}
+
+std::vector<Hypervector> random_queries(std::size_t n, std::size_t dim) {
+  Xoshiro256StarStar rng(12);
+  std::vector<Hypervector> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queries.push_back(Hypervector::random(dim, rng));
+  return queries;
+}
+
+void BM_ClassifyPerQuery(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const hd::AssociativeMemory am = trained_am(5, 10000);
+  const std::vector<Hypervector> queries = random_queries(batch, 10000);
+  for (auto _ : state) {
+    for (const Hypervector& q : queries) {
+      benchmark::DoNotOptimize(am.classify(q));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ClassifyPerQuery)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_ClassifyBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const hd::AssociativeMemory am = trained_am(5, 10000);
+  const std::vector<Hypervector> queries = random_queries(batch, 10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(am.classify_batch(queries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ClassifyBatch)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_HammingDistanceMatrix(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const std::size_t classes = 5;
+  const std::size_t words = pulphd::words_for_dim(10000);
+  Xoshiro256StarStar rng(13);
+  std::vector<pulphd::Word> queries(batch * words);
+  std::vector<pulphd::Word> prototypes(classes * words);
+  for (auto& w : queries) w = static_cast<pulphd::Word>(rng.next());
+  for (auto& w : prototypes) w = static_cast<pulphd::Word>(rng.next());
+  std::vector<std::uint32_t> out(batch * classes);
+  for (auto _ : state) {
+    kernels::hamming_distance_matrix(queries, prototypes, batch, classes, words, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_HammingDistanceMatrix)->Arg(64)->Arg(1024);
 
 }  // namespace
 

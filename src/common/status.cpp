@@ -2,8 +2,16 @@
 
 namespace pulphd {
 
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
 void require(bool condition, const std::string& message) {
   if (!condition) throw std::invalid_argument(message);
+}
+
+void check_invariant(bool condition, const char* message) {
+  if (!condition) throw std::logic_error(message);
 }
 
 void check_invariant(bool condition, const std::string& message) {

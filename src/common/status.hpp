@@ -11,15 +11,29 @@
 
 namespace pulphd {
 
-/// Throws std::invalid_argument when `condition` is false.
+/// Throws std::invalid_argument when `condition` is false. The const char*
+/// overload keeps the passing case allocation-free: call sites passing
+/// string literals sit on hot paths (per-query classification), where
+/// materializing a std::string argument per call would dominate small
+/// kernels.
+void require(bool condition, const char* message);
 void require(bool condition, const std::string& message);
 
 /// Throws std::logic_error when `condition` is false (internal invariant).
+void check_invariant(bool condition, const char* message);
 void check_invariant(bool condition, const std::string& message);
 
 }  // namespace pulphd
 
-#define PULPHD_CHECK(cond)                                                     \
-  ::pulphd::check_invariant((cond), std::string("invariant violated: " #cond \
-                                                " at ") +                     \
-                                        __FILE__ + ":" + std::to_string(__LINE__))
+// The message string is only materialized on failure; PULPHD_CHECK guards
+// hot kernels where an eager std::string construction per call would cost
+// more than the checked work itself.
+#define PULPHD_CHECK(cond)                                                      \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::pulphd::check_invariant(false, std::string("invariant violated: " #cond \
+                                                   " at ") +                    \
+                                           __FILE__ + ":" +                     \
+                                           std::to_string(__LINE__));           \
+    }                                                                           \
+  } while (0)

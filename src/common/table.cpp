@@ -52,7 +52,9 @@ std::string fmt_cycles_k(double cycles) { return printf_format("%.2f", cycles / 
 
 std::string fmt_speedup(double x) { return printf_format("%.2f", x) + "x"; }
 
-std::string fmt_percent(double fraction01) { return printf_format("%.2f", fraction01 * 100.0) + "%"; }
+std::string fmt_percent(double fraction01) {
+  return printf_format("%.2f", fraction01 * 100.0) + "%";
+}
 
 std::string fmt_mw(double milliwatts) { return printf_format("%.2f", milliwatts); }
 

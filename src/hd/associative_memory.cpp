@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/status.hpp"
+#include "kernels/primitives.hpp"
 
 namespace pulphd::hd {
 
@@ -27,6 +28,7 @@ AssociativeMemory::AssociativeMemory(std::size_t classes, std::size_t dim,
   tie_break_ = Hypervector::random(dim, rng);
   accumulators_.assign(classes, BundleAccumulator(dim));
   prototypes_.assign(classes, Hypervector(dim));
+  packed_prototypes_.assign(classes * words_for_dim(dim), 0u);
 }
 
 void AssociativeMemory::train(std::size_t label, const Hypervector& encoded) {
@@ -48,6 +50,36 @@ void AssociativeMemory::train_batch(std::size_t label, std::span<const Hypervect
 bool AssociativeMemory::is_trained() const noexcept {
   return std::all_of(accumulators_.begin(), accumulators_.end(),
                      [](const BundleAccumulator& acc) { return acc.count() > 0; });
+}
+
+std::vector<AmDecision> AssociativeMemory::classify_batch(
+    std::span<const Hypervector> queries) const {
+  check_invariant(is_trained(), "AssociativeMemory::classify_batch: untrained classes present");
+  // The batch kernel's distance matrix is uint32; a distance can reach dim,
+  // so wider dimensions must take the per-query size_t path.
+  require(dim_ <= std::numeric_limits<std::uint32_t>::max(),
+          "AssociativeMemory::classify_batch: dim exceeds the uint32 distance range");
+  const std::size_t words = words_for_dim(dim_);
+  std::vector<Word> packed_queries(queries.size() * words);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    require(queries[q].dim() == dim_, "AssociativeMemory::classify_batch: dimension mismatch");
+    std::copy(queries[q].words().begin(), queries[q].words().end(),
+              packed_queries.begin() + static_cast<std::ptrdiff_t>(q * words));
+  }
+  const std::size_t classes = prototypes_.size();
+  std::vector<std::uint32_t> matrix(queries.size() * classes);
+  kernels::hamming_distance_matrix(packed_queries, packed_prototypes_, queries.size(),
+                                   classes, words, matrix);
+  std::vector<AmDecision> decisions(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    AmDecision& decision = decisions[q];
+    decision.distances.assign(matrix.begin() + static_cast<std::ptrdiff_t>(q * classes),
+                              matrix.begin() + static_cast<std::ptrdiff_t>((q + 1) * classes));
+    const auto best = std::min_element(decision.distances.begin(), decision.distances.end());
+    decision.label = static_cast<std::size_t>(best - decision.distances.begin());
+    decision.distance = *best;
+  }
+  return decisions;
 }
 
 AmDecision AssociativeMemory::classify(const Hypervector& query) const {
@@ -82,6 +114,7 @@ void AssociativeMemory::load_prototypes(std::vector<Hypervector> prototypes) {
     accumulators_[c].add(prototypes[c]);
   }
   prototypes_ = std::move(prototypes);
+  for (std::size_t c = 0; c < prototypes_.size(); ++c) repack_prototype(c);
 }
 
 std::size_t AssociativeMemory::footprint_bytes() const noexcept {
@@ -90,6 +123,14 @@ std::size_t AssociativeMemory::footprint_bytes() const noexcept {
 
 void AssociativeMemory::refresh_prototype(std::size_t label) {
   prototypes_[label] = accumulators_[label].finalize(tie_break_);
+  repack_prototype(label);
+}
+
+void AssociativeMemory::repack_prototype(std::size_t label) {
+  const auto words = prototypes_[label].words();
+  std::copy(words.begin(), words.end(),
+            packed_prototypes_.begin() +
+                static_cast<std::ptrdiff_t>(label * words_for_dim(dim_)));
 }
 
 }  // namespace pulphd::hd

@@ -61,6 +61,13 @@ AmDecision HdClassifier::predict(const Trial& trial) const {
   return am_.classify(encode_query(trial));
 }
 
+std::vector<AmDecision> HdClassifier::predict_batch(std::span<const Trial> trials) const {
+  std::vector<Hypervector> queries;
+  queries.reserve(trials.size());
+  for (const Trial& trial : trials) queries.push_back(encode_query(trial));
+  return am_.classify_batch(queries);
+}
+
 ModelFootprint HdClassifier::footprint() const noexcept {
   ModelFootprint fp;
   const std::size_t hv_bytes = words_for_dim(config_.dim) * sizeof(Word);

@@ -79,6 +79,16 @@ class HdClassifier {
   /// Classifies a single already-encoded query.
   AmDecision predict_encoded(const Hypervector& query) const { return am_.classify(query); }
 
+  /// Batched classification of many trials: each trial is encoded to its
+  /// query hypervector, then all queries go through the AM's word-parallel
+  /// batch kernel in one pass. Result i matches predict(trials[i]).
+  std::vector<AmDecision> predict_batch(std::span<const Trial> trials) const;
+
+  /// Batched classification of already-encoded queries.
+  std::vector<AmDecision> predict_encoded_batch(std::span<const Hypervector> queries) const {
+    return am_.classify_batch(queries);
+  }
+
   ModelFootprint footprint() const noexcept;
 
  private:

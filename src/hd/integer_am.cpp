@@ -42,9 +42,41 @@ bool IntegerAssociativeMemory::is_trained() const noexcept {
                      [](std::size_t c) { return c > 0; });
 }
 
+std::vector<double> IntegerAssociativeMemory::inverse_norms() const {
+  std::vector<double> inv(counters_.size(), 0.0);
+  for (std::size_t c = 0; c < counters_.size(); ++c) {
+    const auto& row = counters_[c];
+    std::int64_t norm2 = 0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      norm2 += static_cast<std::int64_t>(row[i]) * row[i];
+    }
+    if (norm2 > 0) inv[c] = 1.0 / std::sqrt(static_cast<double>(norm2));
+  }
+  return inv;
+}
+
 AmDecision IntegerAssociativeMemory::classify(const Hypervector& query) const {
   check_invariant(is_trained(), "IntegerAssociativeMemory::classify: untrained classes");
   require(query.dim() == dim_, "IntegerAssociativeMemory::classify: dimension mismatch");
+  return classify_with_norms(query, inverse_norms());
+}
+
+std::vector<AmDecision> IntegerAssociativeMemory::classify_batch(
+    std::span<const Hypervector> queries) const {
+  check_invariant(is_trained(), "IntegerAssociativeMemory::classify_batch: untrained classes");
+  const std::vector<double> inv = inverse_norms();
+  std::vector<AmDecision> decisions;
+  decisions.reserve(queries.size());
+  for (const Hypervector& query : queries) {
+    require(query.dim() == dim_,
+            "IntegerAssociativeMemory::classify_batch: dimension mismatch");
+    decisions.push_back(classify_with_norms(query, inv));
+  }
+  return decisions;
+}
+
+AmDecision IntegerAssociativeMemory::classify_with_norms(
+    const Hypervector& query, std::span<const double> inv_norms) const {
   const auto words = query.words();
   AmDecision decision;
   double best_score = -std::numeric_limits<double>::infinity();
@@ -52,15 +84,12 @@ AmDecision IntegerAssociativeMemory::classify(const Hypervector& query) const {
   for (std::size_t c = 0; c < counters_.size(); ++c) {
     const auto& row = counters_[c];
     std::int64_t dot = 0;
-    std::int64_t norm2 = 0;
     for (std::size_t i = 0; i < dim_; ++i) {
       const bool bit = extract_bit(words[i / kWordBits],
                                    static_cast<unsigned>(i % kWordBits)) != 0;
       dot += bit ? row[i] : -row[i];
-      norm2 += static_cast<std::int64_t>(row[i]) * row[i];
     }
-    scores[c] = norm2 > 0 ? static_cast<double>(dot) / std::sqrt(static_cast<double>(norm2))
-                          : 0.0;
+    scores[c] = static_cast<double>(dot) * inv_norms[c];
     if (scores[c] > best_score) {
       best_score = scores[c];
       decision.label = c;

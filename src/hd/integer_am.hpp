@@ -37,6 +37,11 @@ class IntegerAssociativeMemory {
   /// not dominate. Highest score wins (ties -> lowest label).
   AmDecision classify(const Hypervector& query) const;
 
+  /// Batched classification: one decision per query, identical to calling
+  /// `classify` on each, with the per-class L2 norms computed once for the
+  /// whole batch instead of once per query.
+  std::vector<AmDecision> classify_batch(std::span<const Hypervector> queries) const;
+
   /// Thresholds the counters into a plain binary AM prototype (sign bit) —
   /// for comparing both read-outs from identical training.
   Hypervector binarized_prototype(std::size_t label) const;
@@ -49,6 +54,10 @@ class IntegerAssociativeMemory {
   }
 
  private:
+  AmDecision classify_with_norms(const Hypervector& query,
+                                 std::span<const double> inv_norms) const;
+  std::vector<double> inverse_norms() const;
+
   std::size_t dim_;
   std::vector<std::vector<std::int16_t>> counters_;
   std::vector<std::size_t> counts_;

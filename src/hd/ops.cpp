@@ -60,7 +60,8 @@ Hypervector majority_of(std::span<const Hypervector> inputs) {
 
 Hypervector majority(std::span<const Hypervector> inputs) {
   require(!inputs.empty(), "majority: needs at least one input");
-  require(inputs.size() % 2 == 1, "majority: operand count must be odd (use majority_with_tiebreak)");
+  require(inputs.size() % 2 == 1,
+          "majority: operand count must be odd (use majority_with_tiebreak)");
   return majority_of(inputs);
 }
 

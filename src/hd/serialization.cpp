@@ -14,6 +14,22 @@ namespace {
 constexpr std::uint32_t kMagic = 0x31444850u;  // "PHD1" little-endian
 constexpr std::uint32_t kVersion = 1;
 
+// Upper bounds on header fields, checked before any allocation. A corrupt or
+// hostile stream otherwise dictates the allocation size directly — and a dim
+// near SIZE_MAX overflows words_for_dim to 0, which would hand Hypervector an
+// empty word vector for a nonzero dim. The caps are far above any real model
+// (paper: D = 10,000, 4 channels, 22 levels, 5 classes).
+constexpr std::uint64_t kMaxDim = 1ull << 24;
+constexpr std::uint64_t kMaxRows = 1ull << 16;     // channels / levels / classes
+constexpr std::uint64_t kMaxNgram = 1ull << 16;
+
+void check_header_field(std::uint64_t value, std::uint64_t max, const char* name) {
+  if (value > max) {
+    throw std::runtime_error(std::string("load_model: header field ") + name +
+                             " out of range (" + std::to_string(value) + ")");
+  }
+}
+
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -78,14 +94,24 @@ ClassifierModel load_model(std::istream& in) {
     throw std::runtime_error("load_model: unsupported version " + std::to_string(version));
   }
   ClassifierModel model;
-  model.config.dim = read_pod<std::uint64_t>(in);
-  model.config.channels = read_pod<std::uint64_t>(in);
-  model.config.levels = read_pod<std::uint64_t>(in);
+  const auto dim = read_pod<std::uint64_t>(in);
+  const auto channels = read_pod<std::uint64_t>(in);
+  const auto levels = read_pod<std::uint64_t>(in);
   model.config.min_value = read_pod<double>(in);
   model.config.max_value = read_pod<double>(in);
-  model.config.ngram = read_pod<std::uint64_t>(in);
-  model.config.classes = read_pod<std::uint64_t>(in);
+  const auto ngram = read_pod<std::uint64_t>(in);
+  const auto classes = read_pod<std::uint64_t>(in);
   model.config.seed = read_pod<std::uint64_t>(in);
+  check_header_field(dim, kMaxDim, "dim");
+  check_header_field(channels, kMaxRows, "channels");
+  check_header_field(levels, kMaxRows, "levels");
+  check_header_field(ngram, kMaxNgram, "ngram");
+  check_header_field(classes, kMaxRows, "classes");
+  model.config.dim = static_cast<std::size_t>(dim);
+  model.config.channels = static_cast<std::size_t>(channels);
+  model.config.levels = static_cast<std::size_t>(levels);
+  model.config.ngram = static_cast<std::size_t>(ngram);
+  model.config.classes = static_cast<std::size_t>(classes);
   model.config.validate();
   model.im = read_matrix(in, model.config.channels, model.config.dim);
   model.cim = read_matrix(in, model.config.levels, model.config.dim);

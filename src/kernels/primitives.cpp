@@ -1,7 +1,10 @@
 #include "kernels/primitives.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "common/status.hpp"
 
@@ -156,6 +159,66 @@ void hamming_partial_range(sim::CoreContext& ctx, std::span<const Word> query,
       sum += static_cast<std::uint64_t>(popcount(query[w] ^ prototypes[c][w]));
     }
     partial[c] += sum;
+  }
+}
+
+namespace {
+
+// Validation-free core of the batch kernels: runs once per (query, class)
+// pair, so even constructing an error-message string here would dominate
+// the ~C*W popcounts of a small AM. Callers check shapes up front.
+//
+// The rows are contiguous packed words, so the distance can be taken in
+// 64-bit chunks: one popcount per two 32-bit words. Where the target lacks a
+// popcount instruction the compiler's 64-bit SWAR expansion costs the same
+// as the 32-bit one, halving the work either way. memcpy expresses the
+// unaligned 64-bit loads portably and compiles to plain loads.
+std::uint64_t hamming_words_raw(const Word* a, const Word* b, std::size_t n) noexcept {
+  std::uint64_t d0 = 0, d1 = 0;
+  std::size_t w = 0;
+  // Two independent accumulators keep the popcount chains out of each
+  // other's dependency path; the compiler vectorizes the 4-word body.
+  for (; w + 4 <= n; w += 4) {
+    std::uint64_t qa, qb, ra, rb;
+    std::memcpy(&qa, a + w, sizeof(qa));
+    std::memcpy(&ra, b + w, sizeof(ra));
+    std::memcpy(&qb, a + w + 2, sizeof(qb));
+    std::memcpy(&rb, b + w + 2, sizeof(rb));
+    d0 += static_cast<std::uint64_t>(std::popcount(qa ^ ra));
+    d1 += static_cast<std::uint64_t>(std::popcount(qb ^ rb));
+  }
+  for (; w < n; ++w) {
+    d0 += static_cast<std::uint64_t>(popcount(a[w] ^ b[w]));
+  }
+  return d0 + d1;
+}
+
+}  // namespace
+
+std::uint64_t hamming_words(std::span<const Word> a, std::span<const Word> b) {
+  PULPHD_CHECK(a.size() == b.size());
+  return hamming_words_raw(a.data(), b.data(), a.size());
+}
+
+void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word> prototypes,
+                             std::size_t num_queries, std::size_t num_prototypes,
+                             std::size_t words_per_row, std::span<std::uint32_t> out) {
+  PULPHD_CHECK(queries.size() == num_queries * words_per_row);
+  PULPHD_CHECK(prototypes.size() == num_prototypes * words_per_row);
+  PULPHD_CHECK(out.size() == num_queries * num_prototypes);
+  // A distance can reach the row's component count and must fit the uint32
+  // output. Rows with zeroed padding (the Hypervector invariant) carry at
+  // most kWordBits * words_per_row - 1 set bits at this bound.
+  PULPHD_CHECK(words_per_row <=
+               std::numeric_limits<std::uint32_t>::max() / kWordBits + 1);
+  // Query-major loop: the full prototype matrix (C x W words; ~6 kB for the
+  // paper's 5 x 313) stays cache-resident across every query row.
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const Word* query = queries.data() + q * words_per_row;
+    for (std::size_t c = 0; c < num_prototypes; ++c) {
+      out[q * num_prototypes + c] = static_cast<std::uint32_t>(
+          hamming_words_raw(query, prototypes.data() + c * words_per_row, words_per_row));
+    }
   }
 }
 

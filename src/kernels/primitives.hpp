@@ -71,4 +71,28 @@ void hamming_partial_range(sim::CoreContext& ctx, std::span<const Word> query,
 std::size_t quantize_value(sim::CoreContext& ctx, float value, std::size_t levels,
                            double min_value, double max_value);
 
+// ---------------------------------------------------------------------------
+// Host-side batch kernels.
+//
+// Unlike the CoreContext kernels above, these run on the host hot path and
+// charge nothing: they are the word-parallel implementations backing
+// AssociativeMemory::classify_batch. Inputs are row-major contiguous packed
+// matrices (`words_per_row` words per vector) so the inner loops stream
+// sequentially through memory instead of chasing one Hypervector at a time.
+// ---------------------------------------------------------------------------
+
+/// Bulk XOR-popcount of two equally sized packed word ranges — the Hamming
+/// distance between the vectors they encode (padding bits must be zero on
+/// both sides, the Hypervector invariant).
+std::uint64_t hamming_words(std::span<const Word> a, std::span<const Word> b);
+
+/// Dense Hamming-distance matrix: out[q * num_prototypes + c] is the
+/// distance between query row q and prototype row c. `queries` holds
+/// num_queries rows and `prototypes` num_prototypes rows, each of
+/// `words_per_row` contiguous words; `out` must have
+/// num_queries * num_prototypes entries.
+void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word> prototypes,
+                             std::size_t num_queries, std::size_t num_prototypes,
+                             std::size_t words_per_row, std::span<std::uint32_t> out);
+
 }  // namespace pulphd::kernels

@@ -40,9 +40,12 @@ std::pair<std::size_t, std::size_t> static_chunk(std::size_t total, std::uint32_
 
 class ParallelRuntime {
  public:
-  explicit ParallelRuntime(const ClusterConfig& cluster) : cluster_(&cluster) {}
+  /// Copies the config: callers routinely pass preset temporaries
+  /// (e.g. ClusterConfig::wolf(8, true)), so holding a reference would
+  /// dangle as soon as the full expression ends.
+  explicit ParallelRuntime(ClusterConfig cluster) : cluster_(std::move(cluster)) {}
 
-  const ClusterConfig& cluster() const noexcept { return *cluster_; }
+  const ClusterConfig& cluster() const noexcept { return cluster_; }
 
   /// Runs `body(ctx, begin, end)` once per core over a static partition of
   /// [0, total). The body must charge all its work to `ctx`. Cores whose
@@ -51,16 +54,16 @@ class ParallelRuntime {
   template <typename Body>
   RegionResult parallel_for(std::size_t total, Body&& body) const {
     RegionResult result;
-    result.per_core_cycles.reserve(cluster_->cores);
+    result.per_core_cycles.reserve(cluster_.cores);
     std::uint64_t slowest = 0;
-    for (std::uint32_t core = 0; core < cluster_->cores; ++core) {
-      CoreContext ctx(cluster_->isa(), cluster_->l1_contention());
-      const auto [begin, end] = static_chunk(total, cluster_->cores, core);
+    for (std::uint32_t core = 0; core < cluster_.cores; ++core) {
+      CoreContext ctx(cluster_.isa(), cluster_.l1_contention());
+      const auto [begin, end] = static_chunk(total, cluster_.cores, core);
       if (begin < end) body(ctx, begin, end);
       result.per_core_cycles.push_back(ctx.cycles());
       if (ctx.cycles() > slowest) slowest = ctx.cycles();
     }
-    result.overhead_cycles = cluster_->cores > 1 ? cluster_->fork_join_cycles : 0;
+    result.overhead_cycles = cluster_.cores > 1 ? cluster_.fork_join_cycles : 0;
     result.makespan_cycles = slowest;
     return result;
   }
@@ -68,13 +71,13 @@ class ParallelRuntime {
   /// Runs `body(ctx)` on core 0 only (serial section).
   template <typename Body>
   std::uint64_t serial(Body&& body) const {
-    CoreContext ctx(cluster_->isa(), 1.0);
+    CoreContext ctx(cluster_.isa(), 1.0);
     body(ctx);
     return ctx.cycles();
   }
 
  private:
-  const ClusterConfig* cluster_;
+  ClusterConfig cluster_;
 };
 
 }  // namespace pulphd::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace pulphd::hd {
 namespace {
 
@@ -149,6 +151,70 @@ TEST(AssociativeMemory, TrainBatchMatchesIndividualTrains) {
   AssociativeMemory incremental(1, 256, 77);
   for (const auto& hv : examples) incremental.train(0, hv);
   EXPECT_EQ(batch.prototype(0), incremental.prototype(0));
+}
+
+AssociativeMemory trained_am(std::size_t classes, std::size_t dim, std::uint64_t seed) {
+  AssociativeMemory am(classes, dim, seed);
+  Xoshiro256StarStar rng(seed + 1);
+  for (std::size_t c = 0; c < classes; ++c) {
+    am.train(c, Hypervector::random(dim, rng));
+    am.train(c, Hypervector::random(dim, rng));
+    am.train(c, Hypervector::random(dim, rng));
+  }
+  return am;
+}
+
+TEST(AssociativeMemory, ClassifyBatchMatchesPerQueryClassify) {
+  // Non-word-aligned dim exercises the padding tail of the batch kernel.
+  const AssociativeMemory am = trained_am(5, 1000, 21);
+  Xoshiro256StarStar rng(22);
+  std::vector<Hypervector> queries;
+  for (int i = 0; i < 17; ++i) queries.push_back(Hypervector::random(1000, rng));
+  const std::vector<AmDecision> batch = am.classify_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const AmDecision single = am.classify(queries[q]);
+    EXPECT_EQ(batch[q].label, single.label);
+    EXPECT_EQ(batch[q].distance, single.distance);
+    EXPECT_EQ(batch[q].distances, single.distances);
+  }
+}
+
+TEST(AssociativeMemory, ClassifyBatchHandlesEmptyBatch) {
+  const AssociativeMemory am = trained_am(3, 128, 5);
+  EXPECT_TRUE(am.classify_batch({}).empty());
+}
+
+TEST(AssociativeMemory, ClassifyBatchValidates) {
+  AssociativeMemory untrained(2, 128, 1);
+  Xoshiro256StarStar rng(6);
+  std::vector<Hypervector> queries{Hypervector::random(128, rng)};
+  EXPECT_THROW((void)untrained.classify_batch(queries), std::logic_error);
+  const AssociativeMemory am = trained_am(2, 128, 7);
+  std::vector<Hypervector> wrong_dim{Hypervector::random(129, rng)};
+  EXPECT_THROW((void)am.classify_batch(wrong_dim), std::invalid_argument);
+}
+
+TEST(AssociativeMemory, PackedPrototypesTrackPrototypes) {
+  AssociativeMemory am(3, 100, 9);
+  Xoshiro256StarStar rng(10);
+  for (std::size_t c = 0; c < 3; ++c) am.train(c, Hypervector::random(100, rng));
+  const std::size_t words = words_for_dim(100);
+  ASSERT_EQ(am.packed_prototypes().size(), 3u * words);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto expected = am.prototype(c).words();
+    const auto row = am.packed_prototypes().subspan(c * words, words);
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin(), expected.end()));
+  }
+  // load_prototypes must repack as well.
+  std::vector<Hypervector> fresh;
+  for (int i = 0; i < 3; ++i) fresh.push_back(Hypervector::random(100, rng));
+  am.load_prototypes(fresh);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto expected = am.prototype(c).words();
+    const auto row = am.packed_prototypes().subspan(c * words, words);
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin(), expected.end()));
+  }
 }
 
 }  // namespace

@@ -41,6 +41,22 @@ TEST(HdClassifier, LearnsSeparableClasses) {
   }
 }
 
+TEST(HdClassifier, PredictBatchMatchesPredict) {
+  HdClassifier clf(tiny_config());
+  for (std::size_t c = 0; c < 3; ++c) {
+    clf.train(class_trial(c, 0.3f), c);
+  }
+  std::vector<Trial> trials;
+  for (std::size_t c = 0; c < 3; ++c) trials.push_back(class_trial(c, 0.5f));
+  const std::vector<AmDecision> batch = clf.predict_batch(trials);
+  ASSERT_EQ(batch.size(), trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const AmDecision single = clf.predict(trials[i]);
+    EXPECT_EQ(batch[i].label, single.label);
+    EXPECT_EQ(batch[i].distances, single.distances);
+  }
+}
+
 TEST(HdClassifier, EncodeTrialCountsNgrams) {
   ClassifierConfig cfg = tiny_config();
   cfg.ngram = 4;

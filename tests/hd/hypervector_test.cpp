@@ -172,6 +172,55 @@ TEST(Hypervector, FullRotationIsIdentity) {
   EXPECT_EQ(a.rotated(154), a);
 }
 
+TEST(Hypervector, RotationByZeroIsIdentity) {
+  Xoshiro256StarStar rng(20);
+  for (const std::size_t dim : {1ul, 32ul, 100ul, 313ul}) {
+    const Hypervector a = Hypervector::random(dim, rng);
+    EXPECT_EQ(a.rotated(0), a) << "dim=" << dim;
+  }
+}
+
+TEST(Hypervector, RotationBeyondDimWrapsModuloDim) {
+  Xoshiro256StarStar rng(21);
+  const Hypervector a = Hypervector::random(100, rng);
+  // k > dim reduces to k mod dim, including multiples far beyond dim.
+  EXPECT_EQ(a.rotated(101), a.rotated(1));
+  EXPECT_EQ(a.rotated(100 * 7 + 13), a.rotated(13));
+  EXPECT_EQ(a.rotated(100 * 1000), a);
+}
+
+TEST(Hypervector, RotationKeepsPaddingClear) {
+  // A rotation of a non-word-aligned vector shifts set components through
+  // the tail word; none may land in the padding bits.
+  Xoshiro256StarStar rng(22);
+  for (const std::size_t dim : {33ul, 40ul, 100ul}) {
+    const Hypervector a = Hypervector::random(dim, rng);
+    for (const std::size_t k : {1ul, 31ul, 32ul, dim - 1}) {
+      const Hypervector r = a.rotated(k);
+      Hypervector cleared = r;
+      cleared.clear_padding();
+      EXPECT_EQ(r, cleared) << "dim=" << dim << " k=" << k;
+      EXPECT_EQ(r.popcount(), a.popcount()) << "dim=" << dim << " k=" << k;
+    }
+  }
+}
+
+TEST(Hypervector, NotKeepsPaddingClearForAllTailWidths) {
+  // operator~ flips whole words; every non-aligned dim must come back with
+  // the padding bits re-cleared so popcount/hamming stay word reductions.
+  Xoshiro256StarStar rng(23);
+  for (const std::size_t dim : {1ul, 31ul, 32ul, 33ul, 63ul, 65ul, 100ul, 10000ul}) {
+    const Hypervector a = Hypervector::random(dim, rng);
+    const Hypervector n = ~a;
+    Hypervector cleared = n;
+    cleared.clear_padding();
+    EXPECT_EQ(n, cleared) << "dim=" << dim;
+    EXPECT_EQ(a.popcount() + n.popcount(), dim) << "dim=" << dim;
+    // Double negation round-trips exactly.
+    EXPECT_EQ(~n, a) << "dim=" << dim;
+  }
+}
+
 TEST(Hypervector, RotationMakesQuasiOrthogonal) {
   // The permutation "generates a dissimilar pseudo-orthogonal hypervector"
   // (§2.1).

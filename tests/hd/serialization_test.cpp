@@ -99,5 +99,36 @@ TEST(Serialization, LoadFileErrorsOnMissingPath) {
   EXPECT_THROW((void)load_model_file("/nonexistent/dir/model.bin"), std::runtime_error);
 }
 
+TEST(Serialization, RejectsAbsurdHeaderFields) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const std::string bytes = buffer.str();
+  // Header layout: magic(4) version(4) dim(8) channels(8) levels(8)
+  // min(8) max(8) ngram(8) classes(8) seed(8).
+  const auto corrupt_u64 = [&](std::size_t offset, std::uint64_t value) {
+    std::string mutated = bytes;
+    for (int i = 0; i < 8; ++i) {
+      mutated[offset + static_cast<std::size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xFF);
+    }
+    return mutated;
+  };
+  // A dim near SIZE_MAX would overflow words_for_dim to 0 and must be
+  // rejected before any allocation, as must giant row counts that would
+  // otherwise size allocations directly from the stream.
+  for (const auto& [offset, value] :
+       {std::pair<std::size_t, std::uint64_t>{8, ~std::uint64_t{0} - 30},
+        {8, std::uint64_t{1} << 40},
+        {16, std::uint64_t{1} << 32},   // channels
+        {24, std::uint64_t{1} << 32},   // levels
+        {48, std::uint64_t{1} << 40},   // ngram
+        {56, std::uint64_t{1} << 32}}) {  // classes
+    std::stringstream corrupted(corrupt_u64(offset, value));
+    EXPECT_THROW((void)load_model(corrupted), std::runtime_error)
+        << "offset=" << offset << " value=" << value;
+  }
+}
+
 }  // namespace
 }  // namespace pulphd::hd
