@@ -3,7 +3,11 @@
 // tables; a sanity harness for the golden model's performance).
 #include <benchmark/benchmark.h>
 
+#include <deque>
+
+#include "common/thread_pool.hpp"
 #include "hd/associative_memory.hpp"
+#include "hd/classifier.hpp"
 #include "hd/encoder.hpp"
 #include "hd/item_memory.hpp"
 #include "hd/ops.hpp"
@@ -73,6 +77,61 @@ void BM_SpatialEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpatialEncode)->Arg(4)->Arg(64)->Arg(256);
+
+// TemporalEncoder::push before/after the copy-churn fix. The legacy
+// implementation re-materialized the whole n-gram window into a fresh
+// std::vector<Hypervector> on every pushed sample (n hypervector copies +
+// one allocation per push); the current one reduces the deque in place.
+// Measured here (Release, 10,000-D): dropping the window copy is worth
+// ~6-14% on its own (n = 2: 1.24 vs 1.42 us/push; n = 10: 10.4 vs 11.2).
+// The companion fix — the word-parallel Hypervector::rotated, replacing the
+// bit-serial copy that dominated every n-gram — moved the same push from
+// ~330 us to ~4.8 us at n = 5 (~69x); BM_TemporalPushLegacy shares that
+// gain, so the pair below isolates the copy churn alone.
+
+std::vector<Hypervector> random_spatials(std::size_t count, std::size_t dim) {
+  Xoshiro256StarStar rng(21);
+  std::vector<Hypervector> spatials;
+  spatials.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) spatials.push_back(Hypervector::random(dim, rng));
+  return spatials;
+}
+
+void BM_TemporalPush(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Hypervector> spatials = random_spatials(16, 10000);
+  hd::TemporalEncoder enc(n, 10000);
+  Hypervector out(10000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (enc.push(spatials[i], &out)) benchmark::DoNotOptimize(out);
+    i = (i + 1) % spatials.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TemporalPush)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_TemporalPushLegacy(benchmark::State& state) {
+  // The pre-fix implementation, reproduced verbatim for the before/after
+  // comparison: window copy into a vector + hd::ngram on every push.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Hypervector> spatials = random_spatials(16, 10000);
+  std::deque<Hypervector> window;
+  Hypervector out(10000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    window.push_back(spatials[i]);
+    if (window.size() > n) window.pop_front();
+    if (window.size() == n) {
+      const std::vector<Hypervector> win(window.begin(), window.end());
+      out = hd::ngram(win);
+      benchmark::DoNotOptimize(out);
+    }
+    i = (i + 1) % spatials.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TemporalPushLegacy)->Arg(2)->Arg(5)->Arg(10);
 
 void BM_Ngram(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -161,6 +220,91 @@ void BM_HammingDistanceMatrix(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_HammingDistanceMatrix)->Arg(64)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Multi-threaded batch throughput: the same batch kernels sharded over host
+// threads. Args are {batch, threads}; items/s is queries (or trials) per
+// second, so the thread scaling reads directly off the items/s column.
+// threads = 1 takes the serial code path (no pool interaction) and is the
+// baseline the 2/4/8-thread rows are compared against; every thread count
+// produces bit-identical decisions.
+// ---------------------------------------------------------------------------
+
+void BM_ClassifyBatchThreads(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const hd::AssociativeMemory am = trained_am(5, 10000);
+  const std::vector<Hypervector> queries = random_queries(batch, 10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(am.classify_batch(queries, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ClassifyBatchThreads)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8});
+
+void BM_HammingDistanceMatrixThreads(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t classes = 5;
+  const std::size_t words = pulphd::words_for_dim(10000);
+  Xoshiro256StarStar rng(14);
+  std::vector<pulphd::Word> queries(batch * words);
+  std::vector<pulphd::Word> prototypes(classes * words);
+  for (auto& w : queries) w = static_cast<pulphd::Word>(rng.next());
+  for (auto& w : prototypes) w = static_cast<pulphd::Word>(rng.next());
+  std::vector<std::uint32_t> out(batch * classes);
+  for (auto _ : state) {
+    kernels::hamming_distance_matrix(queries, prototypes, batch, classes, words, out,
+                                     threads);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_HammingDistanceMatrixThreads)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8});
+
+void BM_PredictBatchThreads(benchmark::State& state) {
+  // End-to-end inference (spatial encode -> bundle -> AM lookup) over a
+  // batch of trials: the path evaluate_hd drives, where encoding dominates
+  // and trial-level sharding approaches linear scaling.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  hd::ClassifierConfig cfg;  // paper defaults: 10,000-D, 4 channels
+  cfg.threads = threads;
+  hd::HdClassifier clf(cfg);
+  Xoshiro256StarStar rng(15);
+  std::vector<hd::Trial> trials(batch);
+  for (std::size_t t = 0; t < batch; ++t) {
+    for (std::size_t s = 0; s < 20; ++s) {
+      hd::Sample sample(cfg.channels);
+      for (auto& v : sample) {
+        v = static_cast<float>(rng.next() % 2100u) / 100.0f;
+      }
+      trials[t].push_back(std::move(sample));
+    }
+    clf.train(trials[t], t % cfg.classes);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.predict_batch(trials));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PredictBatchThreads)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

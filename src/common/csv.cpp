@@ -17,23 +17,47 @@ std::string csv_escape(const std::string& cell) {
 }
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
-    : out_(path), columns_(header.size()) {
-  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    : out_(path), path_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path_);
   for (std::size_t i = 0; i < header.size(); ++i) {
     out_ << csv_escape(header[i]);
     if (i + 1 < header.size()) out_ << ',';
   }
   out_ << '\n';
+  check_stream("header write failed");
+}
+
+CsvWriter::~CsvWriter() {
+  // Best-effort flush; errors here are invisible (destructors must not
+  // throw) — callers that care about durability call flush() explicitly.
+  if (out_.is_open()) out_.flush();
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& cells) {
-  if (cells.size() != columns_) throw std::runtime_error("CsvWriter: column count mismatch");
+  if (cells.size() != columns_) {
+    throw std::runtime_error("CsvWriter: column count mismatch writing " + path_);
+  }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     out_ << csv_escape(cells[i]);
     if (i + 1 < cells.size()) out_ << ',';
   }
   out_ << '\n';
+  check_stream("row write failed");
   ++rows_;
+}
+
+void CsvWriter::flush() {
+  out_.flush();
+  check_stream("flush failed");
+}
+
+void CsvWriter::check_stream(const char* what) const {
+  // A full disk or closed descriptor poisons the stream state silently; an
+  // unchecked writer would truncate bench CSVs without anyone noticing.
+  if (!out_) {
+    throw std::runtime_error(std::string("CsvWriter: ") + what + " for " + path_ +
+                             " (disk full or file no longer writable?)");
+  }
 }
 
 }  // namespace pulphd

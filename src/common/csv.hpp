@@ -15,13 +15,28 @@ class CsvWriter {
   /// Opens `path` for writing; throws std::runtime_error on failure.
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
+  /// Flushes best-effort; call flush() first when write errors must not be
+  /// swallowed (destructors cannot throw).
+  ~CsvWriter();
+
+  /// Writes one data row. Throws std::runtime_error naming the path when
+  /// the stream enters a failed state (e.g. disk full) — an unchecked
+  /// ofstream would silently truncate the file instead.
   void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes buffered rows to disk; throws (with the path) on failure.
+  void flush();
 
   /// Number of data rows written so far.
   std::size_t rows_written() const noexcept { return rows_; }
 
+  const std::string& path() const noexcept { return path_; }
+
  private:
+  void check_stream(const char* what) const;
+
   std::ofstream out_;
+  std::string path_;
   std::size_t columns_;
   std::size_t rows_ = 0;
 };

@@ -1,0 +1,68 @@
+// Host-side fork-join thread pool.
+//
+// The paper's speedups come from mapping the HD kernels onto a parallel
+// cluster; the host library mirrors that with a small fixed pool of worker
+// threads sharding embarrassingly parallel loops (batch classification,
+// batch encoding) over contiguous index ranges. Parallelism never changes
+// results: every shard computes independent outputs into disjoint slots, so
+// any thread count is bit-identical to the single-threaded loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pulphd {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` worker threads (the calling thread of `parallel_for`
+  /// also executes shards, so total concurrency is workers + 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const noexcept { return workers_.size(); }
+
+  /// Splits [0, n) into at most `shards` near-equal contiguous chunks and
+  /// runs fn(begin, end) for each, concurrently on the workers and the
+  /// calling thread. Blocks until every chunk has finished; the first
+  /// exception thrown by any chunk is rethrown on the caller. fn must write
+  /// only state owned by its own [begin, end) range.
+  void parallel_for(std::size_t n, std::size_t shards,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Usable hardware concurrency (>= 1 even when the runtime reports 0).
+  static std::size_t hardware_threads() noexcept;
+
+  /// Lazily constructed process-wide pool with hardware_threads() - 1
+  /// workers; the instance every library hot path shares.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Resolves a user-facing `threads` knob: 0 means "one per hardware thread",
+/// anything else is taken literally.
+std::size_t resolve_threads(std::size_t threads) noexcept;
+
+/// Shards [0, n) across `threads` chunks on the shared pool. threads <= 1
+/// (after resolving 0 = auto) runs fn(0, n) inline on the caller with no
+/// pool interaction — the single-threaded path is exactly the serial loop.
+void parallel_shards(std::size_t threads, std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace pulphd

@@ -13,19 +13,25 @@ hd::Trial active_segment(const hd::Trial& trial, const ProtocolConfig& config) {
                                            static_cast<double>(trial.size()));
   const auto hi = static_cast<std::size_t>(config.segment_end *
                                            static_cast<double>(trial.size()));
+  if (lo >= hi) {
+    throw std::invalid_argument(
+        "active_segment: trial of " + std::to_string(trial.size()) +
+        " samples truncates to an empty segment [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + ") — trial too short for the protocol's segment bounds");
+  }
   hd::Trial out;
   for (std::size_t i = lo; i < hi; i += config.hd_sample_stride) out.push_back(trial[i]);
   return out;
 }
 
-hd::HdClassifier train_hd_subject(const EmgDataset& dataset, std::size_t subject,
+hd::HdClassifier train_hd_subject(const EmgDataset& dataset, const EmgDataset::Split& split,
                                   std::size_t dim, const ProtocolConfig& config) {
   hd::ClassifierConfig cfg;
   cfg.dim = dim;
   cfg.channels = dataset.config.channels;
   cfg.max_value = dataset.config.max_amplitude_mv;
+  cfg.threads = config.threads;
   hd::HdClassifier clf(cfg);
-  const EmgDataset::Split split = dataset.split(subject, config.train_fraction);
   require(!split.train.empty(), "train_hd_subject: empty training split");
   for (const EmgTrial* trial : split.train) {
     clf.train(active_segment(trial->envelope, config), trial->label);
@@ -33,17 +39,32 @@ hd::HdClassifier train_hd_subject(const EmgDataset& dataset, std::size_t subject
   return clf;
 }
 
+hd::HdClassifier train_hd_subject(const EmgDataset& dataset, std::size_t subject,
+                                  std::size_t dim, const ProtocolConfig& config) {
+  return train_hd_subject(dataset, dataset.split(subject, config.train_fraction), dim,
+                          config);
+}
+
 AccuracyResult evaluate_hd(const EmgDataset& dataset, std::size_t dim,
                            const ProtocolConfig& config) {
   AccuracyResult result;
   for (std::size_t s = 0; s < dataset.config.subjects; ++s) {
-    const hd::HdClassifier clf = train_hd_subject(dataset, s, dim, config);
+    // One split per subject, shared by training and testing (previously
+    // computed twice), and one predict_batch over all test trials so the
+    // paper-protocol evaluation runs the parallel batch encode + classify
+    // path end to end.
+    const EmgDataset::Split split = dataset.split(s, config.train_fraction);
+    const hd::HdClassifier clf = train_hd_subject(dataset, split, dim, config);
     SubjectResult sr;
     sr.subject = s;
-    const EmgDataset::Split split = dataset.split(s, config.train_fraction);
+    std::vector<hd::Trial> segments;
+    segments.reserve(split.test.size());
     for (const EmgTrial* trial : split.test) {
-      const hd::AmDecision decision = clf.predict(active_segment(trial->envelope, config));
-      sr.confusion.record(trial->label, decision.label);
+      segments.push_back(active_segment(trial->envelope, config));
+    }
+    const std::vector<hd::AmDecision> decisions = clf.predict_batch(segments);
+    for (std::size_t t = 0; t < split.test.size(); ++t) {
+      sr.confusion.record(split.test[t]->label, decisions[t].label);
     }
     sr.accuracy = sr.confusion.accuracy();
     result.subjects.push_back(std::move(sr));

@@ -30,9 +30,17 @@ struct ProtocolConfig {
   /// Sample stride for HD encoding (500 Hz / 16 ~= 31 Hz, still ~8x the
   /// envelope bandwidth).
   std::size_t hd_sample_stride = 16;
+  /// Host threads for the batch encode/classify paths of the HD evaluation
+  /// (forwarded into ClassifierConfig::threads; results are bit-identical
+  /// for any value). 1 = serial, 0 = one per hardware thread.
+  std::size_t threads = 1;
 };
 
-/// Active-segment, strided view of a trial used for HD encoding.
+/// Active-segment, strided view of a trial used for HD encoding. Throws
+/// std::invalid_argument when the segment bounds truncate the trial to an
+/// empty segment (e.g. a trial far shorter than the protocol expects) —
+/// failing here names the real problem instead of surfacing later as an
+/// unrelated "trial shorter than N-gram window" error from the encoder.
 hd::Trial active_segment(const hd::Trial& trial, const ProtocolConfig& config);
 
 struct SubjectResult {
@@ -47,13 +55,20 @@ struct AccuracyResult {
 };
 
 /// Trains one HD classifier per subject at dimensionality `dim` and
-/// evaluates per-trial queries over the whole dataset.
+/// evaluates per-trial queries over the whole dataset. The test trials of
+/// each subject are classified through HdClassifier::predict_batch, so the
+/// evaluation exercises the parallel batch path when config.threads != 1.
 AccuracyResult evaluate_hd(const EmgDataset& dataset, std::size_t dim,
                            const ProtocolConfig& config = {});
 
 /// Trains and evaluates the trained HD classifier of a single subject;
 /// exposed so benches can reuse the model for cycle measurements.
 hd::HdClassifier train_hd_subject(const EmgDataset& dataset, std::size_t subject,
+                                  std::size_t dim, const ProtocolConfig& config = {});
+
+/// As above, but on an already-computed split — lets callers that also need
+/// the test half (evaluate_hd) compute dataset.split once per subject.
+hd::HdClassifier train_hd_subject(const EmgDataset& dataset, const EmgDataset::Split& split,
                                   std::size_t dim, const ProtocolConfig& config = {});
 
 struct SvmAccuracyResult {

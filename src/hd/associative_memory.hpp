@@ -59,7 +59,13 @@ class AssociativeMemory {
   /// word matrix and the N x classes() Hamming-distance matrix is computed by
   /// the word-parallel batch kernel, which streams the cache-resident
   /// prototype matrix instead of re-walking per-query Hypervectors.
-  std::vector<AmDecision> classify_batch(std::span<const Hypervector> queries) const;
+  ///
+  /// `threads` shards the query rows across the shared host thread pool
+  /// (each shard packs, measures and decides its own rows, so any thread
+  /// count is bit-identical to the serial loop). 1 = serial on the caller,
+  /// 0 = one shard per hardware thread.
+  std::vector<AmDecision> classify_batch(std::span<const Hypervector> queries,
+                                         std::size_t threads = 1) const;
 
   /// The prototypes as one contiguous row-major packed matrix
   /// (classes() rows of words_for_dim(dim()) words) — the layout the batch

@@ -1,6 +1,7 @@
 #include "hd/classifier.hpp"
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pulphd::hd {
 
@@ -61,11 +62,19 @@ AmDecision HdClassifier::predict(const Trial& trial) const {
   return am_.classify(encode_query(trial));
 }
 
+std::vector<Hypervector> HdClassifier::encode_trials(std::span<const Trial> trials) const {
+  std::vector<Hypervector> queries(trials.size(), Hypervector(config_.dim));
+  // Trials encode independently into their own slots; encoding is the
+  // dominant inference cost, so this is where the thread knob pays off.
+  parallel_shards(config_.threads, trials.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) queries[t] = encode_query(trials[t]);
+  });
+  return queries;
+}
+
 std::vector<AmDecision> HdClassifier::predict_batch(std::span<const Trial> trials) const {
-  std::vector<Hypervector> queries;
-  queries.reserve(trials.size());
-  for (const Trial& trial : trials) queries.push_back(encode_query(trial));
-  return am_.classify_batch(queries);
+  const std::vector<Hypervector> queries = encode_trials(trials);
+  return am_.classify_batch(queries, config_.threads);
 }
 
 ModelFootprint HdClassifier::footprint() const noexcept {

@@ -30,6 +30,10 @@ struct ClassifierConfig {
   std::size_t ngram = 1;         ///< temporal window N (EMG: 1, EEG: up to 29)
   std::size_t classes = 5;       ///< output classes (4 gestures + rest)
   std::uint64_t seed = 0x9d1feed5ULL;  ///< master seed
+  /// Host threads for the batch encode/classify paths (a runtime knob, not
+  /// part of the model — never serialized). 1 = serial, 0 = one per
+  /// hardware thread. Any value yields bit-identical results.
+  std::size_t threads = 1;
 
   /// Validates ranges; throws std::invalid_argument on nonsense.
   void validate() const;
@@ -54,6 +58,10 @@ class HdClassifier {
   explicit HdClassifier(const ClassifierConfig& config);
 
   const ClassifierConfig& config() const noexcept { return config_; }
+
+  /// Adjusts the host-thread knob after construction (e.g. for models
+  /// rebuilt from a serialized stream, which never carries it).
+  void set_threads(std::size_t threads) noexcept { config_.threads = threads; }
   const ItemMemory& im() const noexcept { return im_; }
   const ContinuousItemMemory& cim() const noexcept { return cim_; }
   const AssociativeMemory& am() const noexcept { return am_; }
@@ -79,14 +87,21 @@ class HdClassifier {
   /// Classifies a single already-encoded query.
   AmDecision predict_encoded(const Hypervector& query) const { return am_.classify(query); }
 
-  /// Batched classification of many trials: each trial is encoded to its
-  /// query hypervector, then all queries go through the AM's word-parallel
-  /// batch kernel in one pass. Result i matches predict(trials[i]).
+  /// Encodes many trials to their query hypervectors, sharding the trials
+  /// across `config().threads` host threads (encoding dominates the
+  /// inference cost, and trials are independent). Result i matches
+  /// encode_query(trials[i]); throws when any trial is shorter than N.
+  std::vector<Hypervector> encode_trials(std::span<const Trial> trials) const;
+
+  /// Batched classification of many trials: the trials are encoded in
+  /// parallel by encode_trials, then all queries go through the AM's
+  /// word-parallel batch kernel, likewise sharded across config().threads.
+  /// Result i matches predict(trials[i]) for any thread count.
   std::vector<AmDecision> predict_batch(std::span<const Trial> trials) const;
 
   /// Batched classification of already-encoded queries.
   std::vector<AmDecision> predict_encoded_batch(std::span<const Hypervector> queries) const {
-    return am_.classify_batch(queries);
+    return am_.classify_batch(queries, config_.threads);
   }
 
   ModelFootprint footprint() const noexcept;

@@ -46,8 +46,12 @@ bool TemporalEncoder::push(const Hypervector& spatial, Hypervector* out) {
   window_.push_back(spatial);
   if (window_.size() > n_) window_.pop_front();
   if (window_.size() < n_) return false;
-  const std::vector<Hypervector> win(window_.begin(), window_.end());
-  *out = ngram(win);
+  // N-gram computed directly over the deque: G = S_0 ^ rho^1(S_1) ^ ... —
+  // the same reduction as hd::ngram, without re-materializing the whole
+  // window into a fresh vector (an O(n * dim) copy per pushed sample). The
+  // assignment into *out reuses its existing word buffer.
+  *out = window_.front();
+  for (std::size_t k = 1; k < n_; ++k) *out ^= window_[k].rotated(k);
   return true;
 }
 

@@ -106,10 +106,27 @@ Hypervector Hypervector::rotated(std::size_t k) const {
   // a left rotation in component order.
   //
   // General D means the rotation does not align to word boundaries; do it
-  // in two block copies with bit offsets.
+  // in two block copies with bit offsets, gathering up to one word of
+  // source bits per step instead of moving single bits (rotation sits under
+  // every N-gram encode, so the bit-serial version dominated temporal
+  // encoding).
   const auto copy_range = [&](std::size_t src_begin, std::size_t dst_begin, std::size_t count) {
-    for (std::size_t i = 0; i < count; ++i) {
-      if (bit(src_begin + i)) out.set_bit(dst_begin + i, true);
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t dst_pos = dst_begin + done;
+      const auto dst_bit = static_cast<unsigned>(dst_pos % kWordBits);
+      const std::size_t chunk =
+          std::min<std::size_t>(kWordBits - dst_bit, count - done);
+      const std::size_t src_pos = src_begin + done;
+      const std::size_t src_word = src_pos / kWordBits;
+      const auto src_bit = static_cast<unsigned>(src_pos % kWordBits);
+      Word bits = words_[src_word] >> src_bit;
+      if (src_bit != 0 && src_bit + chunk > kWordBits && src_word + 1 < words_.size()) {
+        bits |= words_[src_word + 1] << (kWordBits - src_bit);
+      }
+      bits &= low_bits_mask(static_cast<unsigned>(chunk));
+      out.words_[dst_pos / kWordBits] |= bits << dst_bit;
+      done += chunk;
     }
   };
   copy_range(0, k, dim_ - k);

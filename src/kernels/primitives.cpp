@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pulphd::kernels {
 
@@ -202,7 +203,8 @@ std::uint64_t hamming_words(std::span<const Word> a, std::span<const Word> b) {
 
 void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word> prototypes,
                              std::size_t num_queries, std::size_t num_prototypes,
-                             std::size_t words_per_row, std::span<std::uint32_t> out) {
+                             std::size_t words_per_row, std::span<std::uint32_t> out,
+                             std::size_t threads) {
   PULPHD_CHECK(queries.size() == num_queries * words_per_row);
   PULPHD_CHECK(prototypes.size() == num_prototypes * words_per_row);
   PULPHD_CHECK(out.size() == num_queries * num_prototypes);
@@ -211,15 +213,18 @@ void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word
   // most kWordBits * words_per_row - 1 set bits at this bound.
   PULPHD_CHECK(words_per_row <=
                std::numeric_limits<std::uint32_t>::max() / kWordBits + 1);
-  // Query-major loop: the full prototype matrix (C x W words; ~6 kB for the
-  // paper's 5 x 313) stays cache-resident across every query row.
-  for (std::size_t q = 0; q < num_queries; ++q) {
-    const Word* query = queries.data() + q * words_per_row;
-    for (std::size_t c = 0; c < num_prototypes; ++c) {
-      out[q * num_prototypes + c] = static_cast<std::uint32_t>(
-          hamming_words_raw(query, prototypes.data() + c * words_per_row, words_per_row));
+  // Query-major loop, sharded over query rows: the full prototype matrix
+  // (C x W words; ~6 kB for the paper's 5 x 313) stays cache-resident in
+  // every shard, and each shard writes only its own out rows.
+  parallel_shards(threads, num_queries, [&](std::size_t q_begin, std::size_t q_end) {
+    for (std::size_t q = q_begin; q < q_end; ++q) {
+      const Word* query = queries.data() + q * words_per_row;
+      for (std::size_t c = 0; c < num_prototypes; ++c) {
+        out[q * num_prototypes + c] = static_cast<std::uint32_t>(
+            hamming_words_raw(query, prototypes.data() + c * words_per_row, words_per_row));
+      }
     }
-  }
+  });
 }
 
 std::size_t quantize_value(sim::CoreContext& ctx, float value, std::size_t levels,

@@ -91,8 +91,14 @@ std::uint64_t hamming_words(std::span<const Word> a, std::span<const Word> b);
 /// num_queries rows and `prototypes` num_prototypes rows, each of
 /// `words_per_row` contiguous words; `out` must have
 /// num_queries * num_prototypes entries.
+///
+/// `threads` shards the query rows across the shared host pool (the matrix
+/// is embarrassingly parallel over queries; every shard writes disjoint out
+/// rows, so any thread count is bit-identical). 1 = serial on the caller,
+/// 0 = one shard per hardware thread.
 void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word> prototypes,
                              std::size_t num_queries, std::size_t num_prototypes,
-                             std::size_t words_per_row, std::span<std::uint32_t> out);
+                             std::size_t words_per_row, std::span<std::uint32_t> out,
+                             std::size_t threads = 1);
 
 }  // namespace pulphd::kernels

@@ -80,5 +80,52 @@ TEST(Csv, RejectsColumnMismatch) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, FlushPersistsRowsAndReportsPath) {
+  const std::string path = ::testing::TempDir() + "/pulphd_csv_flush.csv";
+  CsvWriter w(path, {"x"});
+  w.add_row({"1"});
+  w.flush();
+  // After an explicit flush the row must be on disk even though the writer
+  // is still open.
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  EXPECT_EQ(w.path(), path);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ErrorMessagesNameThePath) {
+  EXPECT_THROW(
+      {
+        try {
+          CsvWriter w("/nonexistent-dir-pulphd/out.csv", {"a"});
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-pulphd/out.csv"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+#ifdef __linux__
+TEST(Csv, DetectsFullDiskInsteadOfTruncatingSilently) {
+  // /dev/full accepts opens and fails every physical write with ENOSPC —
+  // exactly the silent-truncation scenario the stream checks guard against.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "/dev/full not available";
+  auto write_until_error = [] {
+    CsvWriter w("/dev/full", {"x"});
+    // Enough rows to overflow the ofstream buffer and force a write; the
+    // explicit flush catches whatever the buffer still holds.
+    for (int i = 0; i < 10000; ++i) w.add_row({"0123456789abcdef"});
+    w.flush();
+  };
+  EXPECT_THROW(write_until_error(), std::runtime_error);
+}
+#endif
+
 }  // namespace
 }  // namespace pulphd

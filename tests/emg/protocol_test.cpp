@@ -34,6 +34,46 @@ TEST(ActiveSegment, ValidatesConfig) {
   EXPECT_THROW((void)active_segment(trial, cfg), std::invalid_argument);
 }
 
+TEST(ActiveSegment, FailsFastOnTrialsTooShortForTheSegment) {
+  // Regression: a 1-sample trial truncates the default [0.25, 5/6) bounds to
+  // the empty range [0, 0); this used to return an empty trial and surface
+  // later as an unrelated "trial shorter than N-gram window" encoder error.
+  const ProtocolConfig cfg;
+  hd::Trial one_sample(1, hd::Sample{1.0f});
+  try {
+    (void)active_segment(one_sample, cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty segment"), std::string::npos);
+  }
+  hd::Trial empty;
+  EXPECT_THROW((void)active_segment(empty, cfg), std::invalid_argument);
+  // The shortest trial the default bounds accept still yields samples.
+  hd::Trial two_samples(2, hd::Sample{1.0f});
+  EXPECT_FALSE(active_segment(two_samples, cfg).empty());
+}
+
+TEST(Accuracy, EvaluateHdBitIdenticalAcrossThreadCounts) {
+  // The parallel batch path must not move a single prediction.
+  ProtocolConfig serial;
+  const AccuracyResult base = evaluate_hd(dataset(), 200, serial);
+  for (const std::size_t threads : {4ul, 0ul}) {
+    ProtocolConfig parallel;
+    parallel.threads = threads;
+    const AccuracyResult got = evaluate_hd(dataset(), 200, parallel);
+    ASSERT_EQ(got.subjects.size(), base.subjects.size());
+    EXPECT_DOUBLE_EQ(got.mean_accuracy, base.mean_accuracy);
+    for (std::size_t s = 0; s < base.subjects.size(); ++s) {
+      for (std::size_t i = 0; i < kGestureCount; ++i) {
+        for (std::size_t j = 0; j < kGestureCount; ++j) {
+          EXPECT_EQ(got.subjects[s].confusion.at(i, j), base.subjects[s].confusion.at(i, j))
+              << "subject " << s << " cell (" << i << "," << j << ") threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
 TEST(Accuracy, HdAtFullDimensionMatchesPaper) {
   // Table 1 / §4.1: 92.4% mean accuracy at 10,000-D.
   const AccuracyResult r = evaluate_hd(dataset(), 10000);

@@ -143,6 +143,27 @@ TEST(TemporalEncoder, EncodeSequenceMatchesStreaming) {
   EXPECT_EQ(batch, streaming);
 }
 
+TEST(TemporalEncoder, PushMatchesNgramForWideWindows) {
+  // Regression for the in-place n-gram reduction (the previous push copied
+  // the whole window into a fresh vector per sample): every emitted n-gram
+  // must stay bit-identical to hd::ngram over the same window.
+  Xoshiro256StarStar rng(10);
+  std::vector<Hypervector> seq;
+  for (int i = 0; i < 12; ++i) seq.push_back(Hypervector::random(512, rng));
+  const std::size_t n = 5;
+  TemporalEncoder enc(n, 512);
+  Hypervector out(512);
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (!enc.push(seq[i], &out)) continue;
+    const std::vector<Hypervector> window(seq.begin() + static_cast<std::ptrdiff_t>(i + 1 - n),
+                                          seq.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    EXPECT_EQ(out, ngram(window)) << "window ending at " << i;
+    ++emitted;
+  }
+  EXPECT_EQ(emitted, seq.size() - n + 1);
+}
+
 TEST(TemporalEncoder, ValidatesArguments) {
   EXPECT_THROW(TemporalEncoder(0, 64), std::invalid_argument);
   TemporalEncoder enc(2, 64);

@@ -32,13 +32,17 @@ struct Options {
   std::string model_path;
   std::size_t dim = 10000;
   std::size_t subject = 0;
+  std::size_t threads = 1;  ///< host threads for batch encode/classify (0 = auto)
   std::uint64_t seed = emg::GeneratorConfig{}.seed;
 };
 
 [[noreturn]] void usage() {
   std::fputs(
       "usage: pulphd <train|info|eval|price> <model.phd> "
-      "[--dim D] [--subject S] [--seed X]\n",
+      "[--dim D] [--subject S] [--seed X] [--threads T]\n"
+      "  --threads T   host threads for batch encoding/classification\n"
+      "                (1 = serial, 0 = one per hardware thread; results\n"
+      "                are bit-identical for any value)\n",
       stderr);
   std::exit(2);
 }
@@ -58,6 +62,8 @@ Options parse(int argc, char** argv) {
       opt.subject = std::strtoull(value, nullptr, 10);
     } else if (flag == "--seed") {
       opt.seed = std::strtoull(value, nullptr, 0);
+    } else if (flag == "--threads") {
+      opt.threads = std::strtoull(value, nullptr, 10);
     } else {
       usage();
     }
@@ -76,7 +82,9 @@ int cmd_train(const Options& opt) {
               static_cast<unsigned long long>(opt.seed));
   const emg::EmgDataset ds = dataset_for(opt);
   std::printf("training subject %zu at %zu-D...\n", opt.subject, opt.dim);
-  const hd::HdClassifier clf = emg::train_hd_subject(ds, opt.subject, opt.dim);
+  emg::ProtocolConfig protocol;
+  protocol.threads = opt.threads;
+  const hd::HdClassifier clf = emg::train_hd_subject(ds, opt.subject, opt.dim, protocol);
   hd::save_model_file(clf, opt.model_path);
   std::printf("saved %s\n", opt.model_path.c_str());
   return 0;
@@ -106,14 +114,22 @@ int cmd_info(const Options& opt) {
 
 int cmd_eval(const Options& opt) {
   const hd::ClassifierModel model = hd::load_model_file(opt.model_path);
-  const hd::HdClassifier clf = hd::classifier_from_model(model);
+  hd::HdClassifier clf = hd::classifier_from_model(model);
+  clf.set_threads(opt.threads);
   const emg::EmgDataset ds = dataset_for(opt);
   const emg::ProtocolConfig protocol;
   const auto split = ds.split(opt.subject, protocol.train_fraction);
-  hd::ConfusionMatrix cm(model.config.classes);
+  // Batch path: all test trials are encoded and classified in one pass,
+  // sharded across --threads host threads.
+  std::vector<hd::Trial> segments;
+  segments.reserve(split.test.size());
   for (const emg::EmgTrial* trial : split.test) {
-    cm.record(trial->label,
-              clf.predict(emg::active_segment(trial->envelope, protocol)).label);
+    segments.push_back(emg::active_segment(trial->envelope, protocol));
+  }
+  const std::vector<hd::AmDecision> decisions = clf.predict_batch(segments);
+  hd::ConfusionMatrix cm(model.config.classes);
+  for (std::size_t t = 0; t < split.test.size(); ++t) {
+    cm.record(split.test[t]->label, decisions[t].label);
   }
   std::vector<std::string> names;
   for (std::size_t g = 0; g < emg::kGestureCount; ++g) names.push_back(emg::gesture_name(g));
