@@ -1,0 +1,322 @@
+// Shared machine-readable kernel-backend benchmark suite.
+//
+// Drives every compiled+supported kernel backend through the library's hot
+// kernels (Hamming distance matrix, bulk XOR, bulk majority, packed batch
+// spatial encode, end-to-end encode_trials) with warmup iterations and
+// median-of-N timing, and emits the rows as BENCH_hd_ops.json so the repo's
+// perf trajectory is recorded in a diffable form:
+//
+//   {"kernel": "hamming_distance_matrix", "backend": "avx2", "threads": 1,
+//    "dim": 10048, "batch": 1024, "ns_per_query": 812.4, "gb_per_s": 30.9,
+//    "reps": 9, "warmup": 3}
+//
+// ns_per_query is the median over `reps` timed repetitions (each a
+// calibrated block of inner iterations) divided by the items per call;
+// gb_per_s is the kernel's streamed bytes per item at that rate. Used by
+// both bench_hd_ops (alongside its google-benchmark micro benches) and the
+// standalone bench_backends binary.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+#include "hd/classifier.hpp"
+#include "hd/encoder.hpp"
+#include "hd/item_memory.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/primitives.hpp"
+
+namespace pulphd::benchjson {
+
+struct BenchRow {
+  std::string kernel;
+  std::string backend;
+  std::size_t threads = 1;
+  std::size_t dim = 0;
+  std::size_t batch = 1;
+  double ns_per_query = 0.0;
+  double gb_per_s = 0.0;
+  std::size_t reps = 0;
+  std::size_t warmup = 0;
+};
+
+struct SuiteOptions {
+  bool quick = false;  ///< CI smoke mode: fewer reps, shorter blocks, fewer configs
+};
+
+namespace detail {
+
+inline double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/// Times fn with `warmup` discarded repetitions followed by `reps` timed
+/// ones and returns the median ns per item. Each repetition runs a block of
+/// inner iterations calibrated once to ~target_ms so short kernels are not
+/// measured at clock resolution.
+template <typename F>
+double median_ns_per_item(F&& fn, std::size_t items_per_call, std::size_t warmup,
+                          std::size_t reps, double target_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto once_begin = Clock::now();
+  fn();
+  const auto once_end = Clock::now();
+  const double once_ns = std::max(
+      1.0, std::chrono::duration<double, std::nano>(once_end - once_begin).count());
+  const auto inner = static_cast<std::size_t>(
+      std::max(1.0, (target_ms * 1e6) / once_ns));
+  for (std::size_t i = 0; i < warmup; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) fn();
+  }
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto begin = Clock::now();
+    for (std::size_t k = 0; k < inner; ++k) fn();
+    const auto end = Clock::now();
+    samples.push_back(std::chrono::duration<double, std::nano>(end - begin).count() /
+                      static_cast<double>(inner * items_per_call));
+  }
+  return median(std::move(samples));
+}
+
+inline std::vector<Word> random_words(std::size_t count, Xoshiro256StarStar& rng) {
+  std::vector<Word> words(count);
+  for (auto& w : words) w = static_cast<Word>(rng.next() & 0xffffffffu);
+  return words;
+}
+
+}  // namespace detail
+
+inline std::vector<BenchRow> run_backend_suite(const SuiteOptions& opt) {
+  const std::size_t warmup = opt.quick ? 1 : 3;
+  const std::size_t reps = opt.quick ? 3 : 9;
+  const double target_ms = opt.quick ? 2.0 : 10.0;
+  const std::vector<std::size_t> dims =
+      opt.quick ? std::vector<std::size_t>{10048} : std::vector<std::size_t>{10016, 10048};
+  const std::vector<std::size_t> thread_counts =
+      opt.quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+  const std::size_t matrix_batch = opt.quick ? 256 : 1024;
+  const std::size_t classes = 5;
+  const std::size_t majority_rows = 9;
+  const std::size_t encode_batch = opt.quick ? 64 : 256;
+  const std::size_t trials_batch = opt.quick ? 16 : 64;
+  const std::size_t samples_per_trial = 20;
+
+  std::vector<const kernels::Backend*> backends;
+  for (const kernels::Backend* b : kernels::compiled_backends()) {
+    if (b->supported()) backends.push_back(b);
+  }
+
+  std::vector<BenchRow> rows;
+  Xoshiro256StarStar rng(0xbe7c4);
+  const double word_bytes = static_cast<double>(sizeof(Word));
+
+  auto push_row = [&](const char* kernel, const kernels::Backend* backend,
+                      std::size_t threads, std::size_t dim, std::size_t batch,
+                      double ns_per_query, double bytes_per_query) {
+    BenchRow row;
+    row.kernel = kernel;
+    row.backend = backend->name;
+    row.threads = threads;
+    row.dim = dim;
+    row.batch = batch;
+    row.ns_per_query = ns_per_query;
+    row.gb_per_s = bytes_per_query / ns_per_query;  // bytes/ns == GB/s
+    row.reps = reps;
+    row.warmup = warmup;
+    rows.push_back(row);
+  };
+
+  for (const std::size_t dim : dims) {
+    const std::size_t words = words_for_dim(dim);
+
+    // Shared random operands per dim so every backend times identical data.
+    const std::vector<Word> queries = detail::random_words(matrix_batch * words, rng);
+    const std::vector<Word> prototypes = detail::random_words(classes * words, rng);
+    const std::vector<Word> row_a = detail::random_words(words, rng);
+    const std::vector<Word> row_b = detail::random_words(words, rng);
+    std::vector<std::vector<Word>> majority_storage;
+    std::vector<const Word*> majority_ptrs;
+    for (std::size_t r = 0; r < majority_rows; ++r) {
+      majority_storage.push_back(detail::random_words(words, rng));
+      majority_ptrs.push_back(majority_storage.back().data());
+    }
+
+    for (const kernels::Backend* backend : backends) {
+      const kernels::ScopedBackend forced(backend);
+
+      // hamming_distance_matrix: the classify_batch hot kernel, sharded.
+      for (const std::size_t threads : thread_counts) {
+        std::vector<std::uint32_t> out(matrix_batch * classes);
+        const double ns = detail::median_ns_per_item(
+            [&] {
+              kernels::hamming_distance_matrix(queries, prototypes, matrix_batch, classes,
+                                               words, out, threads);
+            },
+            matrix_batch, warmup, reps, target_ms);
+        push_row("hamming_distance_matrix", backend, threads, dim, matrix_batch, ns,
+                 2.0 * static_cast<double>(classes * words) * word_bytes);
+      }
+
+      // hamming_words: one packed-row distance. The volatile store keeps
+      // the call from being optimized out.
+      {
+        volatile std::uint64_t sink = 0;
+        const double ns = detail::median_ns_per_item(
+            [&] { sink = backend->hamming_words(row_a.data(), row_b.data(), words); }, 1,
+            warmup, reps, target_ms);
+        (void)sink;
+        push_row("hamming_words", backend, 1, dim, 1, ns,
+                 2.0 * static_cast<double>(words) * word_bytes);
+      }
+
+      // xor_words: bulk binding.
+      {
+        std::vector<Word> out(words);
+        const double ns = detail::median_ns_per_item(
+            [&] { backend->xor_words(row_a.data(), row_b.data(), out.data(), words); }, 1,
+            warmup, reps, target_ms);
+        push_row("xor_words", backend, 1, dim, 1, ns,
+                 3.0 * static_cast<double>(words) * word_bytes);
+      }
+
+      // majority_words: bit-sliced bundling over 9 rows.
+      {
+        std::vector<Word> out(words);
+        const double ns = detail::median_ns_per_item(
+            [&] {
+              backend->threshold_words(majority_ptrs.data(), majority_rows,
+                                       majority_rows / 2, out.data(), words);
+            },
+            1, warmup, reps, target_ms);
+        push_row("majority_words", backend, 1, dim, majority_rows, ns,
+                 static_cast<double>(majority_rows + 1) * static_cast<double>(words) *
+                     word_bytes);
+      }
+
+      // spatial_encode_batch: the packed multi-sample spatial encode.
+      {
+        const std::size_t channels = 4;
+        const hd::ItemMemory im(channels, dim, 5);
+        const hd::ContinuousItemMemory cim(22, dim, 0.0, 21.0, 6);
+        const hd::SpatialEncoder enc(im, cim, channels);
+        std::vector<std::vector<float>> samples(encode_batch,
+                                                std::vector<float>(channels));
+        for (auto& sample : samples) {
+          for (auto& v : sample) {
+            v = static_cast<float>(rng.next() % 2100u) / 100.0f;
+          }
+        }
+        std::vector<hd::Hypervector> out(encode_batch, hd::Hypervector(dim));
+        const double ns = detail::median_ns_per_item(
+            [&] { enc.encode_batch(samples, out); }, encode_batch, warmup, reps,
+            target_ms);
+        // Bound rows: channels + tie-break; bind streams 3R, majority R+1.
+        const double bench_rows = static_cast<double>(channels + 1);
+        push_row("spatial_encode_batch", backend, 1, dim, encode_batch, ns,
+                 (4.0 * bench_rows + 1.0) * static_cast<double>(words) * word_bytes);
+      }
+    }
+
+    // encode_trials: end-to-end trial encoding (spatial + bundling) across
+    // the thread knob, on the active (auto-selected) backend only — the
+    // backend loop above already isolates per-kernel backend effects.
+    {
+      hd::ClassifierConfig cfg;
+      cfg.dim = dim;
+      hd::HdClassifier clf(cfg);
+      std::vector<hd::Trial> trials(trials_batch);
+      for (auto& trial : trials) {
+        for (std::size_t s = 0; s < samples_per_trial; ++s) {
+          hd::Sample sample(cfg.channels);
+          for (auto& v : sample) {
+            v = static_cast<float>(rng.next() % 2100u) / 100.0f;
+          }
+          trial.push_back(std::move(sample));
+        }
+      }
+      const std::size_t words_per_sample = (cfg.channels + 1) * words;
+      for (const std::size_t threads : thread_counts) {
+        clf.set_threads(threads);
+        const double ns = detail::median_ns_per_item(
+            [&] { clf.encode_trials(trials); }, trials_batch, warmup, reps, target_ms);
+        const kernels::Backend& active = kernels::active_backend();
+        push_row("encode_trials", &active, threads, dim, trials_batch, ns,
+                 static_cast<double>(samples_per_trial) * 5.0 *
+                     static_cast<double>(words_per_sample) * word_bytes);
+      }
+    }
+  }
+  return rows;
+}
+
+inline void write_bench_json(const std::vector<BenchRow>& rows, const std::string& path,
+                             const SuiteOptions& opt) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_bench_json: cannot open " + path);
+  out << "{\n  \"schema\": \"pulphd-bench-v1\",\n  \"bench\": \"bench_hd_ops\",\n";
+  out << "  \"cpu_features\": \"" << cpu_feature_summary() << "\",\n";
+  out << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n  \"rows\": [\n";
+  char buf[64];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"backend\": \"" << r.backend
+        << "\", \"threads\": " << r.threads << ", \"dim\": " << r.dim
+        << ", \"batch\": " << r.batch;
+    std::snprintf(buf, sizeof(buf), "%.2f", r.ns_per_query);
+    out << ", \"ns_per_query\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", r.gb_per_s);
+    out << ", \"gb_per_s\": " << buf;
+    out << ", \"reps\": " << r.reps << ", \"warmup\": " << r.warmup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out.flush()) throw std::runtime_error("write_bench_json: write failed: " + path);
+}
+
+/// Parses one command-line argument of the shared suite (`--quick`,
+/// `--out=PATH`); returns true when the argument was consumed.
+inline bool parse_suite_arg(const char* arg, SuiteOptions& opt, std::string& out_path) {
+  if (std::strcmp(arg, "--quick") == 0) {
+    opt.quick = true;
+    return true;
+  }
+  if (std::strncmp(arg, "--out=", 6) == 0) {
+    out_path = arg + 6;
+    return true;
+  }
+  return false;
+}
+
+inline void print_rows(const std::vector<BenchRow>& rows) {
+  std::printf("%-26s %-9s %7s %7s %7s %14s %10s\n", "kernel", "backend", "threads", "dim",
+              "batch", "ns/query", "GB/s");
+  for (const BenchRow& r : rows) {
+    std::printf("%-26s %-9s %7zu %7zu %7zu %14.2f %10.3f\n", r.kernel.c_str(),
+                r.backend.c_str(), r.threads, r.dim, r.batch, r.ns_per_query, r.gb_per_s);
+  }
+}
+
+/// The shared body of both benchmark mains: banner, suite, table, JSON.
+inline void run_suite_and_write(const SuiteOptions& opt, const std::string& out_path) {
+  std::printf("cpu features: %s; active backend: %s\n", cpu_feature_summary().c_str(),
+              kernels::active_backend().name);
+  const std::vector<BenchRow> rows = run_backend_suite(opt);
+  print_rows(rows);
+  write_bench_json(rows, out_path, opt);
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+}
+
+}  // namespace pulphd::benchjson

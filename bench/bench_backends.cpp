@@ -1,0 +1,25 @@
+// Standalone kernel-backend benchmark: runs the shared JSON suite (see
+// backend_bench.hpp) against every compiled+supported backend and writes
+// BENCH_hd_ops.json. Unlike bench_hd_ops this binary has no
+// google-benchmark dependency, so it is always built.
+//
+// Usage: bench_backends [--quick] [--out=PATH]
+//   --quick     CI smoke mode: fewer reps, shorter timed blocks
+//   --out=PATH  output path (default BENCH_hd_ops.json in the cwd)
+#include <cstdio>
+#include <string>
+
+#include "bench/backend_bench.hpp"
+
+int main(int argc, char** argv) {
+  pulphd::benchjson::SuiteOptions opt;
+  std::string out_path = "BENCH_hd_ops.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!pulphd::benchjson::parse_suite_arg(argv[i], opt, out_path)) {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  pulphd::benchjson::run_suite_and_write(opt, out_path);
+  return 0;
+}

@@ -1,11 +1,20 @@
 // google-benchmark microbenchmarks of the host-side HD library: raw
 // wall-clock throughput of the MAP operations (not part of the paper's
 // tables; a sanity harness for the golden model's performance).
+//
+// The custom main below first runs the shared JSON kernel-backend suite
+// (backend_bench.hpp) and writes BENCH_hd_ops.json — per-kernel rows of
+// {backend, threads, dim, ns/query, GB/s} with warmup + median-of-N timing
+// — then hands any remaining arguments to google-benchmark. `--quick`
+// (the CI smoke mode) runs a reduced suite and skips the micro benches.
 #include <benchmark/benchmark.h>
 
 #include <deque>
+#include <string>
 
+#include "bench/backend_bench.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/backend.hpp"
 #include "hd/associative_memory.hpp"
 #include "hd/classifier.hpp"
 #include "hd/encoder.hpp"
@@ -77,6 +86,23 @@ void BM_SpatialEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpatialEncode)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_SpatialEncodeLegacy(benchmark::State& state) {
+  // The pre-arena encode path, reproduced for the before/after comparison:
+  // bind_channels allocates a fresh std::vector<Hypervector> (one heap
+  // hypervector per channel, per sample) and majority() re-walks it. The
+  // current encode() gathers bound rows into a reused thread-local arena
+  // and thresholds through the dispatched backend.
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const hd::ItemMemory im(channels, 10000, 5);
+  const hd::ContinuousItemMemory cim(22, 10000, 0.0, 21.0, 6);
+  const hd::SpatialEncoder enc(im, cim, channels);
+  std::vector<float> sample(channels, 9.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hd::majority(enc.bind_channels(sample)));
+  }
+}
+BENCHMARK(BM_SpatialEncodeLegacy)->Arg(4)->Arg(64)->Arg(256);
 
 // TemporalEncoder::push before/after the copy-churn fix. The legacy
 // implementation re-materialized the whole n-gram window into a fresh
@@ -272,6 +298,36 @@ BENCHMARK(BM_HammingDistanceMatrixThreads)
     ->Args({1024, 4})
     ->Args({1024, 8});
 
+void BM_HammingDistanceMatrixBackend(benchmark::State& state) {
+  // Single-thread distance matrix per compiled backend (arg = index into
+  // compiled_backends); unsupported/out-of-range entries are skipped so the
+  // registration works on any host.
+  const auto index = static_cast<std::size_t>(state.range(0));
+  const auto backends = kernels::compiled_backends();
+  if (index >= backends.size() || !backends[index]->supported()) {
+    state.SkipWithError("backend not available on this host");
+    return;
+  }
+  const kernels::ScopedBackend forced(backends[index]);
+  state.SetLabel(backends[index]->name);
+  const std::size_t batch = 1024;
+  const std::size_t classes = 5;
+  const std::size_t words = pulphd::words_for_dim(10048);
+  Xoshiro256StarStar rng(16);
+  std::vector<pulphd::Word> queries(batch * words);
+  std::vector<pulphd::Word> prototypes(classes * words);
+  for (auto& w : queries) w = static_cast<pulphd::Word>(rng.next());
+  for (auto& w : prototypes) w = static_cast<pulphd::Word>(rng.next());
+  std::vector<std::uint32_t> out(batch * classes);
+  for (auto _ : state) {
+    kernels::hamming_distance_matrix(queries, prototypes, batch, classes, words, out, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_HammingDistanceMatrixBackend)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_PredictBatchThreads(benchmark::State& state) {
   // End-to-end inference (spatial encode -> bundle -> AM lookup) over a
   // batch of trials: the path evaluate_hd drives, where encoding dominates
@@ -308,4 +364,24 @@ BENCHMARK(BM_PredictBatchThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pulphd::benchjson::SuiteOptions opt;
+  std::string out_path = "BENCH_hd_ops.json";
+  // Strip the suite's flags before handing argv to google-benchmark.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!pulphd::benchjson::parse_suite_arg(argv[i], opt, out_path)) {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  pulphd::benchjson::run_suite_and_write(opt, out_path);
+  if (opt.quick) return 0;  // CI smoke: JSON suite only
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -34,11 +34,11 @@ HdClassifier::HdClassifier(const ClassifierConfig& config)
 }
 
 std::vector<Hypervector> HdClassifier::encode_trial(const Trial& trial) const {
-  std::vector<Hypervector> spatials;
-  spatials.reserve(trial.size());
-  for (const Sample& sample : trial) {
-    spatials.push_back(spatial_.encode(sample));
-  }
+  // Packed batch spatial encode: the whole trial's samples go through one
+  // gather + word-parallel majority pass over the encoder's scratch arena
+  // instead of per-sample heap churn; bit-identical to per-sample encode.
+  std::vector<Hypervector> spatials(trial.size(), Hypervector(config_.dim));
+  spatial_.encode_batch(trial, spatials);
   if (config_.ngram == 1) return spatials;  // pass-through, avoids re-copy
   return TemporalEncoder::encode_sequence(spatials, config_.ngram);
 }

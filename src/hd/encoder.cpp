@@ -1,8 +1,34 @@
 #include "hd/encoder.hpp"
 
+#include <algorithm>
+
 #include "common/status.hpp"
+#include "kernels/backend.hpp"
 
 namespace pulphd::hd {
+
+namespace {
+
+// Per-thread scratch arena backing encode / encode_batch: the packed bound
+// channel rows of a chunk of samples plus the row-pointer table handed to
+// the backend's threshold kernel. thread_local keeps the serial path and
+// every encode_trials shard allocation-free after warmup without any
+// sharing between threads.
+struct SpatialArena {
+  std::vector<Word> rows;
+  std::vector<const Word*> row_ptrs;
+};
+
+SpatialArena& spatial_arena() {
+  static thread_local SpatialArena arena;
+  return arena;
+}
+
+// Cap the packed-row matrix a batch gathers at once so the arena stays
+// cache-resident (in words; 256 Ki words = 1 MiB).
+constexpr std::size_t kArenaWordBudget = std::size_t{1} << 18;
+
+}  // namespace
 
 SpatialEncoder::SpatialEncoder(const ItemMemory& im, const ContinuousItemMemory& cim,
                                std::size_t channels)
@@ -10,6 +36,20 @@ SpatialEncoder::SpatialEncoder(const ItemMemory& im, const ContinuousItemMemory&
   require(channels >= 1, "SpatialEncoder: channels must be >= 1");
   require(im.size() >= channels, "SpatialEncoder: item memory smaller than channel count");
   require(im.dim() == cim.dim(), "SpatialEncoder: IM/CIM dimension mismatch");
+}
+
+void SpatialEncoder::bind_sample_rows(std::span<const float> sample,
+                                      const kernels::Backend& backend, Word* rows) const {
+  const std::size_t words = words_for_dim(dim());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    backend.xor_words(im_->at(c).words().data(), cim_->encode(sample[c]).words().data(),
+                      rows + c * words, words);
+  }
+  if (channels_ % 2 == 0) {
+    // §5.1's reproducible tie-break operand: the XOR of the first two
+    // bound rows, appended so the majority count is odd.
+    backend.xor_words(rows, rows + words, rows + channels_ * words, words);
+  }
 }
 
 std::vector<Hypervector> SpatialEncoder::bind_channels(std::span<const float> sample) const {
@@ -31,8 +71,58 @@ std::vector<Hypervector> SpatialEncoder::bind_channels(std::span<const float> sa
 }
 
 Hypervector SpatialEncoder::encode(std::span<const float> sample) const {
-  const std::vector<Hypervector> bound = bind_channels(sample);
-  return majority(bound);  // bind_channels guarantees an odd operand count
+  require(sample.size() == channels_, "SpatialEncoder: sample size != channel count");
+  const kernels::Backend& backend = kernels::active_backend();
+  const std::size_t words = words_for_dim(dim());
+  const std::size_t rows = bound_rows();
+  SpatialArena& arena = spatial_arena();
+  arena.rows.resize(rows * words);
+  arena.row_ptrs.resize(rows);
+  bind_sample_rows(sample, backend, arena.rows.data());
+  for (std::size_t r = 0; r < rows; ++r) arena.row_ptrs[r] = arena.rows.data() + r * words;
+  Hypervector out(dim());
+  backend.threshold_words(arena.row_ptrs.data(), rows, rows / 2,
+                          out.mutable_words().data(), words);
+  return out;  // bound rows have zero padding, so the majority does too
+}
+
+void SpatialEncoder::encode_batch(std::span<const std::vector<float>> samples,
+                                  std::span<Hypervector> out) const {
+  require(samples.size() == out.size(),
+          "SpatialEncoder::encode_batch: samples/out size mismatch");
+  if (samples.empty()) return;
+  const kernels::Backend& backend = kernels::active_backend();
+  const std::size_t words = words_for_dim(dim());
+  const std::size_t rows = bound_rows();
+  const std::size_t words_per_sample = rows * words;
+  // Chunk the batch so the packed matrix stays cache-resident while still
+  // amortizing the gather over many samples per pass.
+  const std::size_t chunk_samples =
+      std::max<std::size_t>(1, kArenaWordBudget / words_per_sample);
+  SpatialArena& arena = spatial_arena();
+  for (std::size_t base = 0; base < samples.size(); base += chunk_samples) {
+    const std::size_t chunk = std::min(chunk_samples, samples.size() - base);
+    arena.rows.resize(chunk * words_per_sample);
+    arena.row_ptrs.resize(rows);
+    // Pass 1: quantize every channel of every sample in the chunk and
+    // gather the bound CIM/IM rows into one contiguous packed word matrix.
+    for (std::size_t s = 0; s < chunk; ++s) {
+      const std::vector<float>& sample = samples[base + s];
+      require(sample.size() == channels_,
+              "SpatialEncoder::encode_batch: sample size != channel count");
+      require(out[base + s].dim() == dim(),
+              "SpatialEncoder::encode_batch: output dimension mismatch");
+      bind_sample_rows(sample, backend, arena.rows.data() + s * words_per_sample);
+    }
+    // Pass 2: word-parallel channel majority over each sample's packed
+    // row slice, straight into the caller's hypervectors.
+    for (std::size_t s = 0; s < chunk; ++s) {
+      const Word* sample_rows = arena.rows.data() + s * words_per_sample;
+      for (std::size_t r = 0; r < rows; ++r) arena.row_ptrs[r] = sample_rows + r * words;
+      backend.threshold_words(arena.row_ptrs.data(), rows, rows / 2,
+                              out[base + s].mutable_words().data(), words);
+    }
+  }
 }
 
 TemporalEncoder::TemporalEncoder(std::size_t n, std::size_t dim) : n_(n), dim_(dim) {

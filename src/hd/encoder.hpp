@@ -20,6 +20,10 @@
 #include "hd/item_memory.hpp"
 #include "hd/ops.hpp"
 
+namespace pulphd::kernels {
+struct Backend;
+}
+
 namespace pulphd::hd {
 
 /// Stateless spatial encoder over a fixed channel set.
@@ -33,8 +37,20 @@ class SpatialEncoder {
   std::size_t dim() const noexcept { return im_->dim(); }
 
   /// Encodes one multichannel sample (one value per channel, in the CIM's
-  /// physical units). `sample.size()` must equal `channels()`.
+  /// physical units). `sample.size()` must equal `channels()`. The bound
+  /// channel rows are gathered into a per-thread scratch arena reused
+  /// across calls — no per-sample heap allocation.
   Hypervector encode(std::span<const float> sample) const;
+
+  /// Packed batch encode: encodes samples[i] into out[i]; both spans must
+  /// have equal length and every out[i] must already be a hypervector of
+  /// dim() components. Bit-identical to calling encode() per sample, but
+  /// the quantized CIM/IM rows of a whole chunk of samples are gathered
+  /// into one contiguous packed word matrix (the same reused per-thread
+  /// arena) and the channel majority then runs word-parallel over the
+  /// packed rows, sample after sample, with zero heap churn.
+  void encode_batch(std::span<const std::vector<float>> samples,
+                    std::span<Hypervector> out) const;
 
   /// Exposes the bound (pre-majority) hypervectors, including the tie-break
   /// operand when the channel count is even; used by bit-exactness tests
@@ -42,6 +58,15 @@ class SpatialEncoder {
   std::vector<Hypervector> bind_channels(std::span<const float> sample) const;
 
  private:
+  /// Bound rows per sample: channels plus the §5.1 tie-break row when the
+  /// channel count is even (always odd, as majority requires).
+  std::size_t bound_rows() const noexcept {
+    return channels_ + (channels_ % 2 == 0 ? 1 : 0);
+  }
+
+  void bind_sample_rows(std::span<const float> sample, const kernels::Backend& backend,
+                        Word* rows) const;
+
   const ItemMemory* im_;
   const ContinuousItemMemory* cim_;
   std::size_t channels_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/status.hpp"
+#include "kernels/backend.hpp"
 
 namespace pulphd::hd {
 
@@ -67,11 +68,8 @@ std::size_t Hypervector::popcount() const noexcept {
 
 std::size_t Hypervector::hamming(const Hypervector& other) const {
   require(dim_ == other.dim_, "Hypervector::hamming: dimension mismatch");
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(pulphd::popcount(words_[i] ^ other.words_[i]));
-  }
-  return total;
+  return static_cast<std::size_t>(kernels::active_backend().hamming_words(
+      words_.data(), other.words_.data(), words_.size()));
 }
 
 double Hypervector::normalized_hamming(const Hypervector& other) const {
@@ -86,7 +84,8 @@ Hypervector Hypervector::operator^(const Hypervector& other) const {
 
 Hypervector& Hypervector::operator^=(const Hypervector& other) {
   require(dim_ == other.dim_, "Hypervector::operator^=: dimension mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  kernels::active_backend().xor_words(words_.data(), other.words_.data(), words_.data(),
+                                      words_.size());
   return *this;  // XOR of zero-padded words keeps padding zero.
 }
 

@@ -1,9 +1,9 @@
 #include "hd/ops.hpp"
 
-#include <algorithm>
 #include <bit>
 
 #include "common/status.hpp"
+#include "kernels/backend.hpp"
 
 namespace pulphd::hd {
 
@@ -18,42 +18,17 @@ Hypervector majority_of(std::span<const Hypervector> inputs) {
   for (const auto& hv : inputs) {
     require(hv.dim() == dim, "majority: dimension mismatch among inputs");
   }
+  // Bit-sliced thresholded count through the dispatched backend (vertical
+  // counter planes; count > n/2 per component). Semantically identical to
+  // per-bit counting — the simulated kernels implement the paper's per-bit
+  // sequences and are tested bit-exact against this.
   const std::size_t n = inputs.size();
-  const std::size_t threshold = n / 2;  // majority means count > threshold
-  // Bit-sliced counting: per output word keep a vertical counter of
-  // ceil(log2(n+1)) planes, add each input's bits with a ripple of
-  // half-adders, then evaluate count > threshold with a bitwise MSB-first
-  // comparator. This is the golden model's fast path — semantically
-  // identical to per-bit counting (the simulated kernels implement the
-  // paper's per-bit sequences and are tested bit-exact against this).
-  unsigned planes = 1;
-  while ((std::size_t{1} << planes) <= n) ++planes;
-
+  std::vector<const Word*> rows(n);
+  for (std::size_t r = 0; r < n; ++r) rows[r] = inputs[r].words().data();
   Hypervector out(dim);
-  const std::size_t word_count = out.word_count();
-  auto out_words = out.mutable_words();
-  std::vector<Word> counter(planes);
-  for (std::size_t w = 0; w < word_count; ++w) {
-    std::fill(counter.begin(), counter.end(), 0u);
-    for (const auto& hv : inputs) {
-      Word carry = hv.words()[w];
-      for (unsigned p = 0; p < planes && carry != 0; ++p) {
-        const Word next_carry = counter[p] & carry;
-        counter[p] ^= carry;
-        carry = next_carry;
-      }
-    }
-    Word gt = 0;
-    Word eq = ~Word{0};
-    for (unsigned p = planes; p-- > 0;) {
-      const Word tbit = (threshold >> p) & 1u ? ~Word{0} : Word{0};
-      gt |= eq & counter[p] & ~tbit;
-      eq &= ~(counter[p] ^ tbit);
-    }
-    out_words[w] = gt;
-  }
-  out.clear_padding();
-  return out;
+  kernels::active_backend().threshold_words(rows.data(), n, n / 2,
+                                            out.mutable_words().data(), out.word_count());
+  return out;  // zero input padding counts stay <= n/2, so padding stays zero
 }
 
 }  // namespace

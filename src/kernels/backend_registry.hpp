@@ -1,0 +1,62 @@
+// Private registry glue between backend.cpp and the per-ISA backend
+// translation units. Not installed; include only from src/kernels.
+//
+// The SIMD descriptors exist exactly when their TU is compiled (the CMake
+// arch checks define PULPHD_HAVE_AVX2 / PULPHD_HAVE_NEON for the whole
+// library). threshold_word_scalar is the single scalar body the portable
+// threshold kernel and every SIMD backend's sub-vector tail share, so tail
+// bits can never diverge from the reference.
+#pragma once
+
+#include "kernels/backend.hpp"
+
+namespace pulphd::kernels::detail {
+
+extern const Backend kPortableBackend;
+#if defined(PULPHD_HAVE_AVX2)
+extern const Backend kAvx2Backend;
+#endif
+#if defined(PULPHD_HAVE_NEON)
+extern const Backend kNeonBackend;
+#endif
+
+/// Counter planes needed by the bit-sliced threshold kernels: enough for
+/// any realistic row count (2^48 rows would exhaust memory long before).
+inline constexpr unsigned kMaxThresholdPlanes = 48;
+
+/// ceil(log2(num_rows + 1)), capped at kMaxThresholdPlanes.
+constexpr unsigned threshold_planes(std::size_t num_rows) noexcept {
+  unsigned planes = 1;
+  while (planes < kMaxThresholdPlanes && (std::uint64_t{1} << planes) <= num_rows) ++planes;
+  return planes;
+}
+
+/// One output word of the bit-sliced threshold kernel: a vertical counter
+/// of `planes` ripple-added planes over word `w` of every row, then a
+/// bitwise MSB-first count > threshold comparator. The single scalar body
+/// shared by the portable kernel and every SIMD backend's sub-vector tail —
+/// tail bits must never diverge from the reference.
+inline Word threshold_word_scalar(const Word* const* rows, std::size_t num_rows,
+                                  std::size_t threshold, unsigned planes,
+                                  std::size_t w) noexcept {
+  Word counter[kMaxThresholdPlanes];
+  for (unsigned p = 0; p < planes; ++p) counter[p] = 0;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    Word carry = rows[r][w];
+    for (unsigned p = 0; p < planes && carry != 0; ++p) {
+      const Word next_carry = counter[p] & carry;
+      counter[p] ^= carry;
+      carry = next_carry;
+    }
+  }
+  Word gt = 0;
+  Word eq = ~Word{0};
+  for (unsigned p = planes; p-- > 0;) {
+    const Word tbit = (threshold >> p) & 1u ? ~Word{0} : Word{0};
+    gt |= eq & counter[p] & ~tbit;
+    eq &= ~(counter[p] ^ tbit);
+  }
+  return gt;
+}
+
+}  // namespace pulphd::kernels::detail

@@ -1,13 +1,12 @@
 #include "kernels/primitives.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
-#include <cstring>
 #include <limits>
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/backend.hpp"
 
 namespace pulphd::kernels {
 
@@ -163,42 +162,9 @@ void hamming_partial_range(sim::CoreContext& ctx, std::span<const Word> query,
   }
 }
 
-namespace {
-
-// Validation-free core of the batch kernels: runs once per (query, class)
-// pair, so even constructing an error-message string here would dominate
-// the ~C*W popcounts of a small AM. Callers check shapes up front.
-//
-// The rows are contiguous packed words, so the distance can be taken in
-// 64-bit chunks: one popcount per two 32-bit words. Where the target lacks a
-// popcount instruction the compiler's 64-bit SWAR expansion costs the same
-// as the 32-bit one, halving the work either way. memcpy expresses the
-// unaligned 64-bit loads portably and compiles to plain loads.
-std::uint64_t hamming_words_raw(const Word* a, const Word* b, std::size_t n) noexcept {
-  std::uint64_t d0 = 0, d1 = 0;
-  std::size_t w = 0;
-  // Two independent accumulators keep the popcount chains out of each
-  // other's dependency path; the compiler vectorizes the 4-word body.
-  for (; w + 4 <= n; w += 4) {
-    std::uint64_t qa, qb, ra, rb;
-    std::memcpy(&qa, a + w, sizeof(qa));
-    std::memcpy(&ra, b + w, sizeof(ra));
-    std::memcpy(&qb, a + w + 2, sizeof(qb));
-    std::memcpy(&rb, b + w + 2, sizeof(rb));
-    d0 += static_cast<std::uint64_t>(std::popcount(qa ^ ra));
-    d1 += static_cast<std::uint64_t>(std::popcount(qb ^ rb));
-  }
-  for (; w < n; ++w) {
-    d0 += static_cast<std::uint64_t>(popcount(a[w] ^ b[w]));
-  }
-  return d0 + d1;
-}
-
-}  // namespace
-
 std::uint64_t hamming_words(std::span<const Word> a, std::span<const Word> b) {
   PULPHD_CHECK(a.size() == b.size());
-  return hamming_words_raw(a.data(), b.data(), a.size());
+  return active_backend().hamming_words(a.data(), b.data(), a.size());
 }
 
 void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word> prototypes,
@@ -215,14 +181,15 @@ void hamming_distance_matrix(std::span<const Word> queries, std::span<const Word
                std::numeric_limits<std::uint32_t>::max() / kWordBits + 1);
   // Query-major loop, sharded over query rows: the full prototype matrix
   // (C x W words; ~6 kB for the paper's 5 x 313) stays cache-resident in
-  // every shard, and each shard writes only its own out rows.
+  // every shard, and each shard writes only its own out rows. The backend
+  // is resolved once outside the fork so every shard runs the same row
+  // kernel (and a bad PULPHD_BACKEND fails on the caller, not a worker).
+  const Backend& backend = active_backend();
   parallel_shards(threads, num_queries, [&](std::size_t q_begin, std::size_t q_end) {
     for (std::size_t q = q_begin; q < q_end; ++q) {
-      const Word* query = queries.data() + q * words_per_row;
-      for (std::size_t c = 0; c < num_prototypes; ++c) {
-        out[q * num_prototypes + c] = static_cast<std::uint32_t>(
-            hamming_words_raw(query, prototypes.data() + c * words_per_row, words_per_row));
-      }
+      backend.hamming_rows(queries.data() + q * words_per_row, prototypes.data(),
+                           num_prototypes, words_per_row,
+                           out.data() + q * num_prototypes);
     }
   });
 }

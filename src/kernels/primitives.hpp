@@ -79,6 +79,9 @@ std::size_t quantize_value(sim::CoreContext& ctx, float value, std::size_t level
 // AssociativeMemory::classify_batch. Inputs are row-major contiguous packed
 // matrices (`words_per_row` words per vector) so the inner loops stream
 // sequentially through memory instead of chasing one Hypervector at a time.
+// The word loops themselves route through the runtime-dispatched SIMD
+// backend (kernels/backend.hpp): portable 64-bit SWAR everywhere, AVX2 or
+// NEON where the CPU supports them, all bit-identical.
 // ---------------------------------------------------------------------------
 
 /// Bulk XOR-popcount of two equally sized packed word ranges — the Hamming

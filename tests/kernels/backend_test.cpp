@@ -1,0 +1,213 @@
+// Bit-exact equivalence of every compiled kernel backend against the
+// portable SWAR reference, across dimensions that exercise every tail shape
+// (sub-word, exact-word, word+1, the paper's 313-word rows and the 10,048-D
+// bench config), empty/1/3/129-row batches and 1-vs-N thread counts; plus
+// the dispatch contract: PULPHD_BACKEND is honored, unknown values fail
+// with a clear error.
+#include "kernels/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/primitives.hpp"
+
+namespace pulphd::kernels {
+namespace {
+
+// Every tail shape the word loops can see: dims 63/64/65 straddle the
+// 64-bit SWAR chunk, 255/256/257 straddle the 256-bit AVX2 vector, 10016
+// (= 313 * 32) is the paper's row, 10048 the bench config.
+const std::size_t kDims[] = {1, 31, 63, 64, 65, 255, 256, 257, 10016, 10048};
+
+std::vector<Word> random_row(std::size_t dim, Xoshiro256StarStar& rng) {
+  std::vector<Word> row(words_for_dim(dim));
+  for (auto& w : row) w = static_cast<Word>(rng.next() & 0xffffffffu);
+  const unsigned used = static_cast<unsigned>(dim % kWordBits);
+  if (used != 0) row.back() &= low_bits_mask(used);  // the padding invariant
+  return row;
+}
+
+// Restores both the cached backend selection and any PULPHD_BACKEND value
+// the test binary was launched with (the CI forced-portable job sets it for
+// the whole suite).
+class BackendGuard {
+ public:
+  BackendGuard() : previous_(&active_backend()) {
+    if (const char* env = std::getenv("PULPHD_BACKEND")) saved_env_ = env;
+  }
+  ~BackendGuard() {
+    if (saved_env_.has_value()) {
+      setenv("PULPHD_BACKEND", saved_env_->c_str(), 1);
+    } else {
+      unsetenv("PULPHD_BACKEND");
+    }
+    force_backend(previous_);
+  }
+
+ private:
+  const Backend* previous_;
+  std::optional<std::string> saved_env_;
+};
+
+TEST(BackendRegistry, PortableIsAlwaysCompiledAndFirst) {
+  const auto backends = compiled_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), &portable_backend());
+  EXPECT_STREQ(portable_backend().name, "portable");
+  EXPECT_TRUE(portable_backend().supported());
+}
+
+TEST(BackendRegistry, FindBackendRoundTrips) {
+  for (const Backend* b : compiled_backends()) {
+    EXPECT_EQ(find_backend(b->name), b);
+  }
+  EXPECT_EQ(find_backend("not-a-backend"), nullptr);
+}
+
+TEST(BackendRegistry, ActiveBackendIsSupported) {
+  EXPECT_TRUE(active_backend().supported());
+}
+
+TEST(BackendDispatch, ResolveUnknownNameFailsWithClearError) {
+  try {
+    resolve_backend_choice("sse9");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown backend 'sse9'"), std::string::npos) << message;
+    EXPECT_NE(message.find("portable"), std::string::npos) << message;
+  }
+}
+
+TEST(BackendDispatch, ResolvePortableSucceeds) {
+  EXPECT_EQ(&resolve_backend_choice("portable"), &portable_backend());
+}
+
+TEST(BackendDispatch, EnvOverridePortableIsHonored) {
+  BackendGuard guard;
+  ASSERT_EQ(setenv("PULPHD_BACKEND", "portable", 1), 0);
+  force_backend(nullptr);  // drop the cached selection; next call re-reads env
+  EXPECT_STREQ(active_backend().name, "portable");
+}
+
+TEST(BackendDispatch, EnvUnknownValueThrows) {
+  BackendGuard guard;
+  ASSERT_EQ(setenv("PULPHD_BACKEND", "quantum", 1), 0);
+  force_backend(nullptr);
+  EXPECT_THROW(active_backend(), std::runtime_error);
+  ASSERT_EQ(unsetenv("PULPHD_BACKEND"), 0);
+  force_backend(nullptr);
+  EXPECT_TRUE(active_backend().supported());  // recovers once the env is sane
+}
+
+TEST(BackendEquivalence, HammingWordsMatchesPortableOnAllTailShapes) {
+  Xoshiro256StarStar rng(0xb001);
+  for (const std::size_t dim : kDims) {
+    const std::vector<Word> a = random_row(dim, rng);
+    const std::vector<Word> b = random_row(dim, rng);
+    const std::uint64_t ref =
+        portable_backend().hamming_words(a.data(), b.data(), a.size());
+    for (const Backend* backend : compiled_backends()) {
+      if (!backend->supported()) continue;
+      EXPECT_EQ(backend->hamming_words(a.data(), b.data(), a.size()), ref)
+          << backend->name << " dim " << dim;
+    }
+  }
+}
+
+TEST(BackendEquivalence, XorWordsMatchesPortableOnAllTailShapes) {
+  Xoshiro256StarStar rng(0xb002);
+  for (const std::size_t dim : kDims) {
+    const std::vector<Word> a = random_row(dim, rng);
+    const std::vector<Word> b = random_row(dim, rng);
+    std::vector<Word> ref(a.size());
+    portable_backend().xor_words(a.data(), b.data(), ref.data(), a.size());
+    for (const Backend* backend : compiled_backends()) {
+      if (!backend->supported()) continue;
+      std::vector<Word> out(a.size(), 0xdeadbeefu);
+      backend->xor_words(a.data(), b.data(), out.data(), a.size());
+      EXPECT_EQ(out, ref) << backend->name << " dim " << dim;
+      // In-place use (out aliasing a) must give the same bits.
+      std::vector<Word> in_place = a;
+      backend->xor_words(in_place.data(), b.data(), in_place.data(), a.size());
+      EXPECT_EQ(in_place, ref) << backend->name << " in-place dim " << dim;
+    }
+  }
+}
+
+TEST(BackendEquivalence, ThresholdWordsMatchesPortable) {
+  Xoshiro256StarStar rng(0xb003);
+  const std::size_t kRowCounts[] = {1, 3, 5, 9, 33, 129};
+  for (const std::size_t dim : kDims) {
+    for (const std::size_t num_rows : kRowCounts) {
+      std::vector<std::vector<Word>> storage;
+      storage.reserve(num_rows);
+      std::vector<const Word*> rows(num_rows);
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        storage.push_back(random_row(dim, rng));
+        rows[r] = storage.back().data();
+      }
+      const std::size_t words = words_for_dim(dim);
+      // The majority threshold plus the boundary thresholds 0 and n-1.
+      const std::size_t thresholds[] = {num_rows / 2, 0, num_rows - 1};
+      for (const std::size_t threshold : thresholds) {
+        std::vector<Word> ref(words);
+        portable_backend().threshold_words(rows.data(), num_rows, threshold, ref.data(),
+                                           words);
+        for (const Backend* backend : compiled_backends()) {
+          if (!backend->supported()) continue;
+          std::vector<Word> out(words, 0xdeadbeefu);
+          backend->threshold_words(rows.data(), num_rows, threshold, out.data(), words);
+          EXPECT_EQ(out, ref) << backend->name << " dim " << dim << " rows " << num_rows
+                              << " threshold " << threshold;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendEquivalence, HammingDistanceMatrixMatchesPortableAcrossThreads) {
+  BackendGuard guard;
+  Xoshiro256StarStar rng(0xb004);
+  const std::size_t kBatches[] = {0, 1, 3, 129};
+  const std::size_t kThreads[] = {1, 4};
+  const std::size_t classes = 5;
+  for (const std::size_t dim : {65u, 10016u, 10048u}) {
+    const std::size_t words = words_for_dim(dim);
+    std::vector<Word> prototypes;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const std::vector<Word> row = random_row(dim, rng);
+      prototypes.insert(prototypes.end(), row.begin(), row.end());
+    }
+    for (const std::size_t batch : kBatches) {
+      std::vector<Word> queries;
+      for (std::size_t q = 0; q < batch; ++q) {
+        const std::vector<Word> row = random_row(dim, rng);
+        queries.insert(queries.end(), row.begin(), row.end());
+      }
+      std::vector<std::uint32_t> ref(batch * classes);
+      force_backend(&portable_backend());
+      hamming_distance_matrix(queries, prototypes, batch, classes, words, ref, 1);
+      for (const Backend* backend : compiled_backends()) {
+        if (!backend->supported()) continue;
+        for (const std::size_t threads : kThreads) {
+          std::vector<std::uint32_t> out(batch * classes, 0xffffffffu);
+          force_backend(backend);
+          hamming_distance_matrix(queries, prototypes, batch, classes, words, out,
+                                  threads);
+          EXPECT_EQ(out, ref) << backend->name << " dim " << dim << " batch " << batch
+                              << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pulphd::kernels
