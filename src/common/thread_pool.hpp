@@ -59,10 +59,15 @@ class ThreadPool {
 /// anything else is taken literally.
 std::size_t resolve_threads(std::size_t threads) noexcept;
 
-/// Shards [0, n) across `threads` chunks on the shared pool. threads <= 1
-/// (after resolving 0 = auto) runs fn(0, n) inline on the caller with no
-/// pool interaction — the single-threaded path is exactly the serial loop.
+/// Shards [0, n) across `threads * shards_per_thread` chunks on the shared
+/// pool. threads <= 1 (after resolving 0 = auto) runs fn(0, n) inline on
+/// the caller with no pool interaction — the single-threaded path is
+/// exactly the serial loop. shards_per_thread > 1 oversubscribes the shard
+/// count so the pool's caller-helps scheduling load-balances uneven items
+/// (e.g. trials of different lengths); shard boundaries never affect
+/// results, every chunk writes only its own slots.
 void parallel_shards(std::size_t threads, std::size_t n,
-                     const std::function<void(std::size_t, std::size_t)>& fn);
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t shards_per_thread = 1);
 
 }  // namespace pulphd

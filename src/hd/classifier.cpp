@@ -27,6 +27,7 @@ HdClassifier::HdClassifier(const ClassifierConfig& config)
       cim_(config_.levels, config_.dim, config_.min_value, config_.max_value,
            derive_seed(config_.seed, "continuous-item-memory")),
       spatial_(im_, cim_, config_.channels),
+      fused_(spatial_, config_.ngram),
       am_(config_.classes, config_.dim, derive_seed(config_.seed, "am-tie-break")),
       query_tie_break_(config_.dim) {
   Xoshiro256StarStar rng(derive_seed(config_.seed, "query-tie-break"));
@@ -34,9 +35,10 @@ HdClassifier::HdClassifier(const ClassifierConfig& config)
 }
 
 std::vector<Hypervector> HdClassifier::encode_trial(const Trial& trial) const {
-  // Packed batch spatial encode: the whole trial's samples go through one
-  // gather + word-parallel majority pass over the encoder's scratch arena
-  // instead of per-sample heap churn; bit-identical to per-sample encode.
+  // Fused: one chunked pass — packed spatial encode feeding the sliding
+  // N-gram recurrence — instead of materializing the trial's full spatial
+  // sequence first. Bit-identical to the legacy chain below.
+  if (config_.fused) return fused_.encode_ngrams(trial);
   std::vector<Hypervector> spatials(trial.size(), Hypervector(config_.dim));
   spatial_.encode_batch(trial, spatials);
   if (config_.ngram == 1) return spatials;  // pass-through, avoids re-copy
@@ -44,6 +46,14 @@ std::vector<Hypervector> HdClassifier::encode_trial(const Trial& trial) const {
 }
 
 Hypervector HdClassifier::encode_query(const Trial& trial) const {
+  if (config_.fused) {
+    require(trial.size() >= config_.ngram,
+            "HdClassifier::encode_query: trial shorter than N-gram window");
+    // The fully fused path: the trial's N-grams bundle into bit-sliced
+    // counter planes as they are produced, so neither the spatial nor the
+    // N-gram sequence is ever materialized.
+    return fused_.encode_query(trial, query_tie_break_);
+  }
   const std::vector<Hypervector> grams = encode_trial(trial);
   require(!grams.empty(), "HdClassifier::encode_query: trial shorter than N-gram window");
   if (grams.size() == 1) return grams.front();
@@ -66,9 +76,15 @@ std::vector<Hypervector> HdClassifier::encode_trials(std::span<const Trial> tria
   std::vector<Hypervector> queries(trials.size(), Hypervector(config_.dim));
   // Trials encode independently into their own slots; encoding is the
   // dominant inference cost, so this is where the thread knob pays off.
-  parallel_shards(config_.threads, trials.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t t = begin; t < end; ++t) queries[t] = encode_query(trials[t]);
-  });
+  // Oversubscribe the shard count 4x so trials of uneven length keep every
+  // worker busy instead of one long shard serializing the tail (the pool's
+  // caller-helps queue hands short shards to whoever frees up first).
+  parallel_shards(
+      config_.threads, trials.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) queries[t] = encode_query(trials[t]);
+      },
+      /*shards_per_thread=*/4);
   return queries;
 }
 

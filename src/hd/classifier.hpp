@@ -34,6 +34,12 @@ struct ClassifierConfig {
   /// part of the model — never serialized). 1 = serial, 0 = one per
   /// hardware thread. Any value yields bit-identical results.
   std::size_t threads = 1;
+  /// Routes trial encoding through the fused single-pass pipeline (spatial
+  /// encode -> sliding N-gram recurrence -> bit-sliced counter bundling).
+  /// A runtime knob like `threads`, never serialized; both settings yield
+  /// bit-identical hypervectors — false keeps the legacy sample-at-a-time
+  /// chain for A/B tests and benches.
+  bool fused = true;
 
   /// Validates ranges; throws std::invalid_argument on nonsense.
   void validate() const;
@@ -62,6 +68,8 @@ class HdClassifier {
   /// Adjusts the host-thread knob after construction (e.g. for models
   /// rebuilt from a serialized stream, which never carries it).
   void set_threads(std::size_t threads) noexcept { config_.threads = threads; }
+  /// Toggles the fused trial-encode pipeline (bit-identical either way).
+  void set_fused(bool fused) noexcept { config_.fused = fused; }
   const ItemMemory& im() const noexcept { return im_; }
   const ContinuousItemMemory& cim() const noexcept { return cim_; }
   const AssociativeMemory& am() const noexcept { return am_; }
@@ -111,6 +119,7 @@ class HdClassifier {
   ItemMemory im_;
   ContinuousItemMemory cim_;
   SpatialEncoder spatial_;
+  FusedTrialEncoder fused_;
   AssociativeMemory am_;
   Hypervector query_tie_break_;
 };

@@ -1,9 +1,12 @@
 #include "hd/encoder.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/status.hpp"
 #include "kernels/backend.hpp"
+#include "kernels/bitsliced.hpp"
 
 namespace pulphd::hd {
 
@@ -27,6 +30,48 @@ SpatialArena& spatial_arena() {
 // Cap the packed-row matrix a batch gathers at once so the arena stays
 // cache-resident (in words; 256 Ki words = 1 MiB).
 constexpr std::size_t kArenaWordBudget = std::size_t{1} << 18;
+
+// Samples the fused trial pass spatial-encodes per chunk: large enough to
+// amortize the packed gather, small enough (~80 KiB of hypervectors at the
+// paper's D) to stay cache-resident.
+constexpr std::size_t kFusedChunkSamples = 64;
+
+// Per-thread scratch of the fused trial pass: the spatial chunk buffer, the
+// temporal recurrence state, and the counter planes. Rebuilt only when the
+// encoder geometry (dim, n) changes; concurrent encode_trials shards each
+// own one, so a trial encode is allocation-free after warmup.
+struct FusedArena {
+  std::vector<Hypervector> spatials;
+  std::optional<TemporalEncoder> temporal;
+  std::optional<Hypervector> gram;
+  kernels::CounterBundle counters;
+
+  Hypervector& gram_for(std::size_t dim) {
+    if (!gram || gram->dim() != dim) gram.emplace(dim);
+    return *gram;
+  }
+
+  TemporalEncoder& temporal_for(std::size_t n, std::size_t dim) {
+    if (!temporal || temporal->n() != n || temporal->dim() != dim) {
+      temporal.emplace(n, dim);
+    } else {
+      temporal->reset();
+    }
+    return *temporal;
+  }
+
+  std::span<Hypervector> spatials_for(std::size_t count, std::size_t dim) {
+    if (spatials.size() < count || (!spatials.empty() && spatials.front().dim() != dim)) {
+      spatials.assign(count, Hypervector(dim));
+    }
+    return std::span<Hypervector>(spatials.data(), count);
+  }
+};
+
+FusedArena& fused_arena() {
+  static thread_local FusedArena arena;
+  return arena;
+}
 
 }  // namespace
 
@@ -125,7 +170,13 @@ void SpatialEncoder::encode_batch(std::span<const std::vector<float>> samples,
   }
 }
 
-TemporalEncoder::TemporalEncoder(std::size_t n, std::size_t dim) : n_(n), dim_(dim) {
+TemporalEncoder::TemporalEncoder(std::size_t n, std::size_t dim)
+    : n_(n),
+      dim_(dim),
+      window_(n > 1 ? n : 0, Hypervector(dim >= 1 ? dim : 1)),
+      gram_(dim >= 1 ? dim : 1),
+      scratch_(dim >= 1 ? dim : 1),
+      rotated_new_(dim >= 1 ? dim : 1) {
   require(n >= 1, "TemporalEncoder: n must be >= 1");
   require(dim >= 1, "TemporalEncoder: dim must be >= 1");
 }
@@ -133,15 +184,41 @@ TemporalEncoder::TemporalEncoder(std::size_t n, std::size_t dim) : n_(n), dim_(d
 bool TemporalEncoder::push(const Hypervector& spatial, Hypervector* out) {
   require(spatial.dim() == dim_, "TemporalEncoder::push: dimension mismatch");
   require(out != nullptr, "TemporalEncoder::push: out must not be null");
-  window_.push_back(spatial);
-  if (window_.size() > n_) window_.pop_front();
-  if (window_.size() < n_) return false;
-  // N-gram computed directly over the deque: G = S_0 ^ rho^1(S_1) ^ ... —
-  // the same reduction as hd::ngram, without re-materializing the whole
-  // window into a fresh vector (an O(n * dim) copy per pushed sample). The
-  // assignment into *out reuses its existing word buffer.
-  *out = window_.front();
-  for (std::size_t k = 1; k < n_; ++k) *out ^= window_[k].rotated(k);
+  if (n_ == 1) {
+    // Pass-through (the paper's EMG configuration): the 1-gram is the
+    // spatial hypervector itself.
+    fill_ = 1;
+    *out = spatial;
+    return true;
+  }
+  if (fill_ < n_) {
+    window_[fill_] = spatial;  // assignment reuses the preallocated slot
+    ++fill_;
+    if (fill_ < n_) return false;
+    // First full window: the direct reduction G = S_0 ^ rho(S_1) ^ ... ^
+    // rho^{n-1}(S_{n-1}), rotating into preallocated scratch.
+    gram_ = window_[0];
+    for (std::size_t k = 1; k < n_; ++k) {
+      window_[k].rotate_into(scratch_, k);
+      gram_ ^= scratch_;
+    }
+    head_ = 0;
+    *out = gram_;
+    return true;
+  }
+  // Steady state: slide the window by the recurrence
+  //   G_{t+1} = rho^{-1}(G_t ^ S_oldest) ^ rho^{n-1}(S_new)
+  // (rho^{-1} == rho^{dim-1}): XOR the expiring sample out, un-rotate the
+  // survivors one step, and splice the newest sample in at depth n-1 — two
+  // rotations and two XORs per sample, however large n is.
+  gram_ ^= window_[head_];
+  gram_.rotate_into(scratch_, dim_ - 1);
+  spatial.rotate_into(rotated_new_, n_ - 1);
+  scratch_ ^= rotated_new_;
+  std::swap(gram_, scratch_);
+  window_[head_] = spatial;
+  head_ = (head_ + 1) % n_;
+  *out = gram_;
   return true;
 }
 
@@ -151,9 +228,75 @@ std::vector<Hypervector> TemporalEncoder::encode_sequence(std::span<const Hyperv
   std::vector<Hypervector> out;
   if (sequence.size() < n) return out;
   out.reserve(sequence.size() - n + 1);
-  for (std::size_t start = 0; start + n <= sequence.size(); ++start) {
-    out.push_back(ngram(sequence.subspan(start, n)));
+  // Slide one encoder over the sequence — the recurrence makes every window
+  // after the first O(dim) instead of O(n * dim).
+  TemporalEncoder enc(n, sequence.front().dim());
+  Hypervector gram(sequence.front().dim());
+  for (const Hypervector& s : sequence) {
+    if (enc.push(s, &gram)) out.push_back(gram);
   }
+  return out;
+}
+
+FusedTrialEncoder::FusedTrialEncoder(const SpatialEncoder& spatial, std::size_t n)
+    : spatial_(&spatial), n_(n) {
+  require(n >= 1, "FusedTrialEncoder: n must be >= 1");
+}
+
+template <typename PerGram>
+void FusedTrialEncoder::for_each_ngram(std::span<const std::vector<float>> trial,
+                                       PerGram&& per_gram) const {
+  FusedArena& arena = fused_arena();
+  const std::size_t chunk_samples = std::min<std::size_t>(kFusedChunkSamples, trial.size());
+  std::span<Hypervector> spatials = arena.spatials_for(chunk_samples, dim());
+  if (n_ == 1) {
+    // Pass-through fast path: every spatial is its own 1-gram; skip the
+    // window ring and recurrence entirely.
+    for (std::size_t base = 0; base < trial.size(); base += chunk_samples) {
+      const std::size_t chunk = std::min(chunk_samples, trial.size() - base);
+      spatial_->encode_batch(trial.subspan(base, chunk), spatials.subspan(0, chunk));
+      for (std::size_t s = 0; s < chunk; ++s) per_gram(spatials[s]);
+    }
+    return;
+  }
+  TemporalEncoder& temporal = arena.temporal_for(n_, dim());
+  Hypervector& gram = arena.gram_for(dim());
+  for (std::size_t base = 0; base < trial.size(); base += chunk_samples) {
+    const std::size_t chunk = std::min(chunk_samples, trial.size() - base);
+    spatial_->encode_batch(trial.subspan(base, chunk), spatials.subspan(0, chunk));
+    for (std::size_t s = 0; s < chunk; ++s) {
+      if (temporal.push(spatials[s], &gram)) per_gram(gram);
+    }
+  }
+}
+
+Hypervector FusedTrialEncoder::encode_query(std::span<const std::vector<float>> trial,
+                                            const Hypervector& tie_break) const {
+  const std::size_t grams = ngram_count(trial.size());
+  require(grams >= 1, "FusedTrialEncoder::encode_query: trial shorter than N-gram window");
+  require(tie_break.dim() == dim(), "FusedTrialEncoder::encode_query: tie-break dim mismatch");
+  const kernels::Backend& backend = kernels::active_backend();
+  FusedArena& arena = fused_arena();
+  arena.counters.reset(words_for_dim(dim()), grams);
+  for_each_ngram(trial, [&](const Hypervector& gram) {
+    arena.counters.add(backend, gram.words().data());
+  });
+  Hypervector out(dim());
+  // N-gram padding bits are zero, their counters stay zero, and zero never
+  // exceeds the threshold; the tie-break's padding is zero too, so the
+  // all-counts-zero grams == 1 readout (threshold 0, odd, no tie) and every
+  // other shape keep the padding invariant.
+  arena.counters.majority(backend, tie_break.words().data(), out.mutable_words().data());
+  return out;
+}
+
+std::vector<Hypervector> FusedTrialEncoder::encode_ngrams(
+    std::span<const std::vector<float>> trial) const {
+  std::vector<Hypervector> out;
+  const std::size_t grams = ngram_count(trial.size());
+  if (grams == 0) return out;
+  out.reserve(grams);
+  for_each_ngram(trial, [&](const Hypervector& gram) { out.push_back(gram); });
   return out;
 }
 

@@ -10,10 +10,12 @@
 // componentwise XOR between two bound hypervectors").
 //
 // Temporal encoder: an N-gram over the last N spatial hypervectors,
-//   G_t = S_t ^ rho(S_{t+1}) ^ ... ^ rho^{N-1}(S_{t+N-1}).
+//   G_t = S_t ^ rho(S_{t+1}) ^ ... ^ rho^{N-1}(S_{t+N-1}),
+// maintained incrementally by the sliding recurrence
+//   G_{t+1} = rho^{-1}(G_t ^ S_t) ^ rho^{N-1}(S_{t+N})
+// so each step costs two rotations and two XORs instead of N-1 rotations.
 #pragma once
 
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -76,6 +78,11 @@ class SpatialEncoder {
 /// chronological order; once `n` samples are buffered every push yields an
 /// N-gram. With n == 1 the encoder is a pass-through (the paper's EMG
 /// configuration).
+///
+/// Every buffer (the n-slot window ring, the running N-gram, and the two
+/// rotation scratch hypervectors) is allocated at construction, and push
+/// maintains the N-gram with the sliding recurrence above — the steady
+/// state is allocation-free and costs O(dim) per sample independent of n.
 class TemporalEncoder {
  public:
   TemporalEncoder(std::size_t n, std::size_t dim);
@@ -88,9 +95,12 @@ class TemporalEncoder {
   bool push(const Hypervector& spatial, Hypervector* out);
 
   /// Number of samples currently buffered (saturates at n).
-  std::size_t fill() const noexcept { return window_.size(); }
+  std::size_t fill() const noexcept { return fill_; }
 
-  void reset() noexcept { window_.clear(); }
+  void reset() noexcept {
+    fill_ = 0;
+    head_ = 0;
+  }
 
   /// Batch helper: N-grams of every complete window of a sequence, i.e.
   /// sequence.size() - n + 1 outputs (empty when the sequence is shorter
@@ -101,7 +111,57 @@ class TemporalEncoder {
  private:
   std::size_t n_;
   std::size_t dim_;
-  std::deque<Hypervector> window_;
+  std::vector<Hypervector> window_;  ///< ring of the last n spatials; oldest at head_
+  std::size_t head_ = 0;
+  std::size_t fill_ = 0;
+  Hypervector gram_;     ///< N-gram of the current window (valid when fill_ == n)
+  Hypervector scratch_;  ///< rotation target (rotate_into needs dst != src)
+  Hypervector rotated_new_;
+};
+
+/// Fused single-pass trial encoder: quantize/bind/majority (spatial), the
+/// sliding N-gram recurrence (temporal), and bit-sliced counter bundling in
+/// one chunked pass over a trial, all through the dispatched kernel
+/// backend. Produces exactly the hypervectors of the legacy
+/// SpatialEncoder::encode -> TemporalEncoder::push -> BundleAccumulator
+/// chain (asserted in tests) without ever materializing the trial's spatial
+/// or N-gram sequences: peak scratch is one sample chunk, the n-slot
+/// window, and ceil(log2(grams + 1)) counter planes, all owned by a
+/// per-thread arena so concurrent encode_trials shards never allocate after
+/// warmup.
+class FusedTrialEncoder {
+ public:
+  /// `spatial` must outlive the encoder; `n` is the temporal window size.
+  FusedTrialEncoder(const SpatialEncoder& spatial, std::size_t n);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t dim() const noexcept { return spatial_->dim(); }
+
+  /// N-grams a trial of `samples` samples yields: samples - n + 1, or 0
+  /// when the trial is shorter than the window.
+  std::size_t ngram_count(std::size_t samples) const noexcept {
+    return samples < n_ ? 0 : samples - n_ + 1;
+  }
+
+  /// Bundled query hypervector of a whole trial — the fused equivalent of
+  /// encoding every N-gram and majority-bundling them with `tie_break`
+  /// breaking exact ties (even N-gram counts). Throws when the trial is
+  /// shorter than n samples. Thread-safe: concurrent calls share nothing
+  /// but the immutable model memories.
+  Hypervector encode_query(std::span<const std::vector<float>> trial,
+                           const Hypervector& tie_break) const;
+
+  /// The trial's N-gram sequence via the same fused pass (the training
+  /// path, which needs every N-gram, not their bundle). Empty when the
+  /// trial is shorter than n.
+  std::vector<Hypervector> encode_ngrams(std::span<const std::vector<float>> trial) const;
+
+ private:
+  template <typename PerGram>
+  void for_each_ngram(std::span<const std::vector<float>> trial, PerGram&& per_gram) const;
+
+  const SpatialEncoder* spatial_;
+  std::size_t n_;
 };
 
 }  // namespace pulphd::hd

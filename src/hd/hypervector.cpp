@@ -97,9 +97,20 @@ Hypervector Hypervector::operator~() const {
 }
 
 Hypervector Hypervector::rotated(std::size_t k) const {
-  k %= dim_;
-  if (k == 0) return *this;
   Hypervector out(dim_);
+  rotate_into(out, k);
+  return out;
+}
+
+void Hypervector::rotate_into(Hypervector& dst, std::size_t k) const {
+  require(dst.dim_ == dim_, "Hypervector::rotate_into: dimension mismatch");
+  require(&dst != this, "Hypervector::rotate_into: dst must not alias the source");
+  k %= dim_;
+  if (k == 0) {
+    std::copy(words_.begin(), words_.end(), dst.words_.begin());
+    return;
+  }
+  std::fill(dst.words_.begin(), dst.words_.end(), Word{0});
   // Component i of the output takes component (i + dim - k) % dim of the
   // input, i.e. every component moves k positions towards the MSB end —
   // a left rotation in component order.
@@ -124,13 +135,12 @@ Hypervector Hypervector::rotated(std::size_t k) const {
         bits |= words_[src_word + 1] << (kWordBits - src_bit);
       }
       bits &= low_bits_mask(static_cast<unsigned>(chunk));
-      out.words_[dst_pos / kWordBits] |= bits << dst_bit;
+      dst.words_[dst_pos / kWordBits] |= bits << dst_bit;
       done += chunk;
     }
   };
   copy_range(0, k, dim_ - k);
   copy_range(dim_ - k, 0, k);
-  return out;
 }
 
 void Hypervector::clear_padding() noexcept {

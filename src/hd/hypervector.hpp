@@ -71,6 +71,12 @@ class Hypervector {
   /// input... see ops.hpp for orientation discussion).
   Hypervector rotated(std::size_t k) const;
 
+  /// Writes this hypervector rotated by `k` into `dst`, reusing dst's word
+  /// buffer — the allocation-free form of rotated() that the temporal
+  /// encoders' inner loops run on. dst must have the same dim and must not
+  /// alias *this.
+  void rotate_into(Hypervector& dst, std::size_t k) const;
+
   /// Zeroes any set padding bits; exposed for deserialization paths.
   void clear_padding() noexcept;
 

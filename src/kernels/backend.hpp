@@ -63,6 +63,28 @@ struct Backend {
   /// componentwise majority of hd::majority. num_rows must be >= 1.
   void (*threshold_words)(const Word* const* rows, std::size_t num_rows,
                           std::size_t threshold, Word* out, std::size_t n) noexcept;
+
+  /// Streaming bundling, accumulate half: adds one packed binary row into a
+  /// bit-sliced vertical counter — `num_planes` planes of n words each,
+  /// plane-major (plane p spans planes[p*n, p*n + n)), plane 0 the LSB.
+  /// Every column whose row bit is set is incremented with a ripple of
+  /// half-adders; a column already at 2^num_planes - 1 saturates there
+  /// instead of wrapping. Unlike threshold_words this never needs the rows
+  /// materialized together, so a whole trial's n-grams bundle one row at a
+  /// time with O(num_planes) state.
+  void (*accumulate_counters)(const Word* row, Word* planes, unsigned num_planes,
+                              std::size_t n) noexcept;
+
+  /// Streaming bundling, readout half: bit b of out[w] is set iff the
+  /// vertical counter of that column exceeds `threshold`, or equals it and
+  /// `tie_break` (nullable) has the bit set. threshold must be below
+  /// 2^num_planes. With threshold = adds/2 this matches
+  /// hd::BundleAccumulator::finalize exactly: strict majority wins, exact
+  /// ties (possible only for an even add count — pass tie_break then, and
+  /// nullptr for odd counts) take the tie-break component.
+  void (*counters_to_majority)(const Word* planes, unsigned num_planes,
+                               std::size_t threshold, const Word* tie_break, Word* out,
+                               std::size_t n) noexcept;
 };
 
 /// The always-compiled 64-bit SWAR fallback (and bit-exact reference).

@@ -119,6 +119,69 @@ void threshold_words_avx2(const Word* const* rows, std::size_t num_rows,
   }
 }
 
+void accumulate_counters_avx2(const Word* row, Word* planes, unsigned num_planes,
+                              std::size_t n) noexcept {
+  // Half-adder ripple with 256-bit lanes: one pass adds the row into 256
+  // vertical counters at once, stopping early once the carry dies (for a
+  // random row the carry halves per plane, so most ripples end after one or
+  // two planes).
+  std::size_t w = 0;
+  for (; w + kWordsPerVec <= n; w += kWordsPerVec) {
+    __m256i carry = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    for (unsigned p = 0; p < num_planes; ++p) {
+      if (_mm256_testz_si256(carry, carry)) break;
+      Word* plane_w = planes + p * n + w;
+      const __m256i plane = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(plane_w));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(plane_w),
+                          _mm256_xor_si256(plane, carry));
+      carry = _mm256_and_si256(plane, carry);
+    }
+    if (!_mm256_testz_si256(carry, carry)) {
+      // Carry out of the top plane: saturate the overflowed columns back to
+      // all-planes-set (see the scalar body in backend_registry.hpp).
+      for (unsigned p = 0; p < num_planes; ++p) {
+        Word* plane_w = planes + p * n + w;
+        const __m256i plane = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(plane_w));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(plane_w),
+                            _mm256_or_si256(plane, carry));
+      }
+    }
+  }
+  for (; w < n; ++w) {
+    accumulate_counters_word_scalar(row[w], planes, num_planes, n, w);
+  }
+}
+
+void counters_to_majority_avx2(const Word* planes, unsigned num_planes,
+                               std::size_t threshold, const Word* tie_break, Word* out,
+                               std::size_t n) noexcept {
+  // MSB-first count > threshold comparator over the plane-major counter,
+  // 256 columns per pass; exact-tie columns take the tie-break bits.
+  std::size_t w = 0;
+  for (; w + kWordsPerVec <= n; w += kWordsPerVec) {
+    __m256i gt = _mm256_setzero_si256();
+    __m256i eq = _mm256_set1_epi32(-1);
+    for (unsigned p = num_planes; p-- > 0;) {
+      const __m256i plane =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(planes + p * n + w));
+      const __m256i tbit = (threshold >> p) & 1u ? _mm256_set1_epi32(-1)
+                                                 : _mm256_setzero_si256();
+      gt = _mm256_or_si256(gt, _mm256_andnot_si256(tbit, _mm256_and_si256(eq, plane)));
+      eq = _mm256_andnot_si256(_mm256_xor_si256(plane, tbit), eq);
+    }
+    if (tie_break != nullptr) {
+      const __m256i tie =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tie_break + w));
+      gt = _mm256_or_si256(gt, _mm256_and_si256(eq, tie));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), gt);
+  }
+  for (; w < n; ++w) {
+    out[w] = counters_majority_word_scalar(planes, num_planes, n, threshold,
+                                           tie_break != nullptr ? tie_break[w] : Word{0}, w);
+  }
+}
+
 bool avx2_supported() noexcept { return cpu_features().avx2; }
 
 }  // namespace
@@ -131,6 +194,8 @@ const Backend kAvx2Backend = {
     .hamming_rows = hamming_rows_avx2,
     .xor_words = xor_words_avx2,
     .threshold_words = threshold_words_avx2,
+    .accumulate_counters = accumulate_counters_avx2,
+    .counters_to_majority = counters_to_majority_avx2,
 };
 
 }  // namespace pulphd::kernels::detail

@@ -59,6 +59,22 @@ void threshold_words_portable(const Word* const* rows, std::size_t num_rows,
   }
 }
 
+void accumulate_counters_portable(const Word* row, Word* planes, unsigned num_planes,
+                                  std::size_t n) noexcept {
+  for (std::size_t w = 0; w < n; ++w) {
+    accumulate_counters_word_scalar(row[w], planes, num_planes, n, w);
+  }
+}
+
+void counters_to_majority_portable(const Word* planes, unsigned num_planes,
+                                   std::size_t threshold, const Word* tie_break, Word* out,
+                                   std::size_t n) noexcept {
+  for (std::size_t w = 0; w < n; ++w) {
+    out[w] = counters_majority_word_scalar(planes, num_planes, n, threshold,
+                                           tie_break != nullptr ? tie_break[w] : Word{0}, w);
+  }
+}
+
 bool portable_supported() noexcept { return true; }
 
 }  // namespace
@@ -71,6 +87,8 @@ const Backend kPortableBackend = {
     .hamming_rows = hamming_rows_portable,
     .xor_words = xor_words_portable,
     .threshold_words = threshold_words_portable,
+    .accumulate_counters = accumulate_counters_portable,
+    .counters_to_majority = counters_to_majority_portable,
 };
 
 }  // namespace pulphd::kernels::detail

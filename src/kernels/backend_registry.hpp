@@ -59,4 +59,44 @@ inline Word threshold_word_scalar(const Word* const* rows, std::size_t num_rows,
   return gt;
 }
 
+/// One word column of the saturating streaming accumulate
+/// (Backend::accumulate_counters): ripple-add the row bits into the
+/// plane-major counter (plane stride = n words), clamping overflowing
+/// columns back to all-planes-set. The single scalar body shared by the
+/// portable kernel and every SIMD backend's sub-vector tail.
+inline void accumulate_counters_word_scalar(Word row_word, Word* planes,
+                                            unsigned num_planes, std::size_t stride,
+                                            std::size_t w) noexcept {
+  Word carry = row_word;
+  for (unsigned p = 0; p < num_planes && carry != 0; ++p) {
+    Word& plane = planes[p * stride + w];
+    const Word next_carry = plane & carry;
+    plane ^= carry;
+    carry = next_carry;
+  }
+  if (carry != 0) {
+    // Carry out of the top plane: those columns were at 2^planes - 1 and the
+    // ripple zeroed them; OR the carry back into every plane to saturate.
+    for (unsigned p = 0; p < num_planes; ++p) planes[p * stride + w] |= carry;
+  }
+}
+
+/// One word column of the streaming readout (Backend::counters_to_majority):
+/// the bitwise MSB-first count > threshold comparator over the plane-major
+/// counter, with exact-tie columns taking the tie-break bits (pass 0 for
+/// "ties lose"). Shared scalar body, as above.
+inline Word counters_majority_word_scalar(const Word* planes, unsigned num_planes,
+                                          std::size_t stride, std::size_t threshold,
+                                          Word tie_break_word, std::size_t w) noexcept {
+  Word gt = 0;
+  Word eq = ~Word{0};
+  for (unsigned p = num_planes; p-- > 0;) {
+    const Word plane = planes[p * stride + w];
+    const Word tbit = (threshold >> p) & 1u ? ~Word{0} : Word{0};
+    gt |= eq & plane & ~tbit;
+    eq &= ~(plane ^ tbit);
+  }
+  return gt | (eq & tie_break_word);
+}
+
 }  // namespace pulphd::kernels::detail
