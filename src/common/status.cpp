@@ -18,4 +18,7 @@ void check_invariant(bool condition, const std::string& message) {
   if (!condition) throw std::logic_error(message);
 }
 
+CodedError::CodedError(std::string code, const std::string& message)
+    : std::runtime_error(message), code_(std::move(code)) {}
+
 }  // namespace pulphd

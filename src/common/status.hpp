@@ -23,6 +23,24 @@ void require(bool condition, const std::string& message);
 void check_invariant(bool condition, const char* message);
 void check_invariant(bool condition, const std::string& message);
 
+/// A runtime error carrying a short machine-readable code alongside the
+/// human-readable message. Boundary layers that answer external callers
+/// (the serve wire protocol, future RPC surfaces) throw CodedError so the
+/// transport can map the failure to a stable error token (`code()`) while
+/// logs keep the precise `what()`; plain exceptions from deeper layers are
+/// reported under a generic code instead of leaking internals.
+///
+/// Codes are short kebab-case tokens (no spaces), e.g. "unknown-model".
+class CodedError : public std::runtime_error {
+ public:
+  CodedError(std::string code, const std::string& message);
+
+  const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
 }  // namespace pulphd
 
 // The message string is only materialized on failure; PULPHD_CHECK guards

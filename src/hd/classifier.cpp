@@ -34,6 +34,53 @@ HdClassifier::HdClassifier(const ClassifierConfig& config)
   query_tie_break_ = Hypervector::random(config_.dim, rng);
 }
 
+// The copy/move special members rebind spatial_/fused_ onto the
+// destination's own im_/cim_ (they are non-owning views); the re-run
+// constructor validations only re-check invariants that already held on
+// the source, so the noexcept move cannot actually throw.
+
+HdClassifier::HdClassifier(const HdClassifier& other)
+    : config_(other.config_),
+      im_(other.im_),
+      cim_(other.cim_),
+      spatial_(im_, cim_, config_.channels),
+      fused_(spatial_, config_.ngram),
+      am_(other.am_),
+      query_tie_break_(other.query_tie_break_) {}
+
+HdClassifier::HdClassifier(HdClassifier&& other) noexcept
+    : config_(std::move(other.config_)),
+      im_(std::move(other.im_)),
+      cim_(std::move(other.cim_)),
+      spatial_(im_, cim_, config_.channels),
+      fused_(spatial_, config_.ngram),
+      am_(std::move(other.am_)),
+      query_tie_break_(std::move(other.query_tie_break_)) {}
+
+HdClassifier& HdClassifier::operator=(const HdClassifier& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  im_ = other.im_;
+  cim_ = other.cim_;
+  spatial_ = SpatialEncoder(im_, cim_, config_.channels);
+  fused_ = FusedTrialEncoder(spatial_, config_.ngram);
+  am_ = other.am_;
+  query_tie_break_ = other.query_tie_break_;
+  return *this;
+}
+
+HdClassifier& HdClassifier::operator=(HdClassifier&& other) noexcept {
+  if (this == &other) return *this;
+  config_ = std::move(other.config_);
+  im_ = std::move(other.im_);
+  cim_ = std::move(other.cim_);
+  spatial_ = SpatialEncoder(im_, cim_, config_.channels);
+  fused_ = FusedTrialEncoder(spatial_, config_.ngram);
+  am_ = std::move(other.am_);
+  query_tie_break_ = std::move(other.query_tie_break_);
+  return *this;
+}
+
 std::vector<Hypervector> HdClassifier::encode_trial(const Trial& trial) const {
   // Fused: one chunked pass — packed spatial encode feeding the sliding
   // N-gram recurrence — instead of materializing the trial's full spatial

@@ -63,6 +63,16 @@ class HdClassifier {
  public:
   explicit HdClassifier(const ClassifierConfig& config);
 
+  /// The classifier owns its IM/CIM and `spatial_`/`fused_` are views into
+  /// them, so the compiler-generated copy/move would leave the destination's
+  /// encoders pointing into the source object (a dangling pointer once the
+  /// source dies — e.g. a classifier moved into a model registry). These
+  /// rebind the encoder views onto the destination's own memories.
+  HdClassifier(const HdClassifier& other);
+  HdClassifier(HdClassifier&& other) noexcept;
+  HdClassifier& operator=(const HdClassifier& other);
+  HdClassifier& operator=(HdClassifier&& other) noexcept;
+
   const ClassifierConfig& config() const noexcept { return config_; }
 
   /// Adjusts the host-thread knob after construction (e.g. for models

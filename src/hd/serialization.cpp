@@ -12,7 +12,9 @@ namespace pulphd::hd {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x31444850u;  // "PHD1" little-endian
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionNameless = 1;  // pre-name streams, still loadable
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kMaxNameLen = 64;
 
 // Upper bounds on header fields, checked before any allocation. A corrupt or
 // hostile stream otherwise dictates the allocation size directly — and a dim
@@ -63,7 +65,21 @@ std::vector<Hypervector> read_matrix(std::istream& in, std::size_t rows, std::si
 
 }  // namespace
 
-void save_model(const HdClassifier& clf, std::ostream& out) {
+bool is_valid_model_name(const std::string& name) {
+  if (name.empty() || name.size() > kMaxNameLen) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void save_model(const HdClassifier& clf, std::ostream& out, const std::string& name) {
+  if (!name.empty() && !is_valid_model_name(name)) {
+    throw std::runtime_error("save_model: invalid model name \"" + name +
+                             "\" (want 1..64 chars of [A-Za-z0-9._-])");
+  }
   const ClassifierConfig& cfg = clf.config();
   write_pod(out, kMagic);
   write_pod(out, kVersion);
@@ -75,22 +91,24 @@ void save_model(const HdClassifier& clf, std::ostream& out) {
   write_pod<std::uint64_t>(out, cfg.ngram);
   write_pod<std::uint64_t>(out, cfg.classes);
   write_pod<std::uint64_t>(out, cfg.seed);
+  write_pod<std::uint64_t>(out, name.size());
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
   write_matrix(out, clf.im().items());
   write_matrix(out, clf.cim().items());
   write_matrix(out, clf.am().prototypes());
   if (!out) throw std::runtime_error("save_model: stream write failed");
 }
 
-void save_model_file(const HdClassifier& clf, const std::string& path) {
+void save_model_file(const HdClassifier& clf, const std::string& path, const std::string& name) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
-  save_model(clf, out);
+  save_model(clf, out, name);
 }
 
 ClassifierModel load_model(std::istream& in) {
   if (read_pod<std::uint32_t>(in) != kMagic) throw std::runtime_error("load_model: bad magic");
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
+  if (version != kVersionNameless && version != kVersion) {
     throw std::runtime_error("load_model: unsupported version " + std::to_string(version));
   }
   ClassifierModel model;
@@ -102,6 +120,18 @@ ClassifierModel load_model(std::istream& in) {
   const auto ngram = read_pod<std::uint64_t>(in);
   const auto classes = read_pod<std::uint64_t>(in);
   model.config.seed = read_pod<std::uint64_t>(in);
+  if (version >= 2) {
+    const auto name_len = read_pod<std::uint64_t>(in);
+    check_header_field(name_len, kMaxNameLen, "name_len");
+    if (name_len > 0) {
+      model.name.resize(static_cast<std::size_t>(name_len));
+      in.read(model.name.data(), static_cast<std::streamsize>(name_len));
+      if (!in) throw std::runtime_error("load_model: truncated stream");
+      if (!is_valid_model_name(model.name)) {
+        throw std::runtime_error("load_model: embedded model name is not a valid token");
+      }
+    }
+  }
   check_header_field(dim, kMaxDim, "dim");
   check_header_field(channels, kMaxRows, "channels");
   check_header_field(levels, kMaxRows, "levels");
@@ -122,7 +152,13 @@ ClassifierModel load_model(std::istream& in) {
 ClassifierModel load_model_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
-  return load_model(in);
+  try {
+    return load_model(in);
+  } catch (const std::exception& e) {
+    // A registry loads many per-subject models in one startup; an anonymous
+    // "bad magic" is useless without the file it came from.
+    throw std::runtime_error("load_model_file: " + path + ": " + e.what());
+  }
 }
 
 HdClassifier classifier_from_model(const ClassifierModel& model) {

@@ -1,0 +1,262 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.hpp"
+#include "hd/serialization.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+[[noreturn]] void fail(std::string_view code, const std::string& message) {
+  throw CodedError(std::string(code), message);
+}
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+/// Pops the next space-separated token off `rest` (empty when exhausted).
+std::string_view next_token(std::string_view& rest) {
+  const std::size_t start = rest.find_first_not_of(' ');
+  if (start == std::string_view::npos) {
+    rest = {};
+    return {};
+  }
+  rest.remove_prefix(start);
+  const std::size_t end = rest.find(' ');
+  const std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end == std::string_view::npos ? rest.size() : end);
+  return token;
+}
+
+/// Splits a "key=value" token; throws bad-request when the key mismatches.
+std::string_view expect_kv(std::string_view token, std::string_view key) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || token.substr(0, eq) != key) {
+    fail(kErrBadRequest,
+         "expected " + std::string(key) + "=..., got \"" + std::string(token) + "\"");
+  }
+  return token.substr(eq + 1);
+}
+
+std::size_t parse_size(std::string_view text, std::string_view what) {
+  unsigned long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(kErrBadRequest, "malformed " + std::string(what) + " count \"" + std::string(text) + "\"");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+float parse_sample_value(std::string_view text) {
+  float value = 0.0f;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(kErrBadRequest, "malformed sample value \"" + std::string(text) + "\"");
+  }
+  if (!std::isfinite(value)) {
+    fail(kErrBadRequest, "non-finite sample value \"" + std::string(text) + "\"");
+  }
+  return value;
+}
+
+void append_float(std::string& out, float value) {
+  char buf[32];
+  // %.9g round-trips binary32 exactly (9 significant decimal digits).
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+  out += buf;
+}
+
+}  // namespace
+
+std::optional<Request> RequestParser::consume_line(std::string_view line) {
+  line = strip_cr(line);
+  const bool was_mid_body = pending_ != nullptr;
+  framing_lost_ = false;
+  try {
+    if (pending_ == nullptr) return consume_header(line);
+    if (remaining_samples_ == 0) {
+      consume_trial_header(line);
+      return std::nullopt;
+    }
+    consume_sample_line(line);
+    if (remaining_trials_ == 0) {
+      Request done = std::move(*pending_);
+      pending_.reset();
+      return done;
+    }
+    return std::nullopt;
+  } catch (...) {
+    // Reset to idle so one bad request never poisons the next; the caller
+    // checks framing_lost() to decide whether the connection survives.
+    pending_.reset();
+    remaining_trials_ = 0;
+    remaining_samples_ = 0;
+    if (was_mid_body) framing_lost_ = true;
+    throw;
+  }
+}
+
+std::optional<Request> RequestParser::consume_header(std::string_view line) {
+  std::string_view rest = line;
+  const std::string_view version = next_token(rest);
+  if (version.empty()) return std::nullopt;  // blank lines between requests are ignored
+  if (version != kProtocolVersionToken) {
+    fail(kErrUnsupportedVersion, "unsupported protocol version \"" + std::string(version) +
+                                     "\" (this server speaks " +
+                                     std::string(kProtocolVersionToken) + ")");
+  }
+  const std::string_view command = next_token(rest);
+  if (command == "ping" || command == "models" || command == "quit") {
+    if (!next_token(rest).empty()) {
+      fail(kErrBadRequest, "unexpected trailing fields after \"" + std::string(command) + "\"");
+    }
+    if (command == "ping") return Request{PingRequest{}};
+    if (command == "models") return Request{ModelsRequest{}};
+    return Request{QuitRequest{}};
+  }
+  if (command != "classify") {
+    fail(kErrBadRequest, "unknown command \"" + std::string(command) + "\"");
+  }
+  // From here any failure loses framing: a pipelining client has already
+  // sent the trial lines this header announced.
+  framing_lost_ = true;
+  auto request = std::make_unique<ClassifyRequest>();
+  std::string_view token = next_token(rest);
+  if (token.starts_with("model=")) {
+    request->model = std::string(expect_kv(token, "model"));
+    if (!hd::is_valid_model_name(request->model)) {
+      fail(kErrBadRequest, "invalid model name \"" + request->model + "\"");
+    }
+    token = next_token(rest);
+  }
+  const std::size_t trials = parse_size(expect_kv(token, "trials"), "trials");
+  if (!next_token(rest).empty()) {
+    fail(kErrBadRequest, "unexpected trailing fields after trials=");
+  }
+  if (trials == 0) fail(kErrBadRequest, "classify needs trials >= 1");
+  if (trials > kMaxTrialsPerRequest) {
+    fail(kErrTooLarge, "trials=" + std::to_string(trials) + " exceeds the per-request limit of " +
+                           std::to_string(kMaxTrialsPerRequest));
+  }
+  request->trials.reserve(trials);
+  pending_ = std::move(request);
+  remaining_trials_ = trials;
+  remaining_samples_ = 0;
+  framing_lost_ = false;  // header parsed fully; body lines frame normally
+  return std::nullopt;
+}
+
+void RequestParser::consume_trial_header(std::string_view line) {
+  std::string_view rest = line;
+  const std::string_view keyword = next_token(rest);
+  if (keyword != "trial") {
+    fail(kErrBadRequest,
+         "expected a \"trial samples=...\" line, got \"" + std::string(line) + "\"");
+  }
+  const std::size_t samples = parse_size(expect_kv(next_token(rest), "samples"), "samples");
+  if (!next_token(rest).empty()) {
+    fail(kErrBadRequest, "unexpected trailing fields after samples=");
+  }
+  if (samples == 0) fail(kErrBadRequest, "a trial needs samples >= 1");
+  if (samples > kMaxSamplesPerTrial) {
+    fail(kErrTooLarge, "samples=" + std::to_string(samples) +
+                           " exceeds the per-trial limit of " +
+                           std::to_string(kMaxSamplesPerTrial));
+  }
+  pending_->trials.emplace_back();
+  pending_->trials.back().reserve(samples);
+  remaining_samples_ = samples;
+}
+
+void RequestParser::consume_sample_line(std::string_view line) {
+  hd::Sample sample;
+  std::string_view rest = line;
+  for (std::string_view token = next_token(rest); !token.empty(); token = next_token(rest)) {
+    sample.push_back(parse_sample_value(token));
+  }
+  if (sample.empty()) fail(kErrBadRequest, "empty sample line inside a trial body");
+  pending_->trials.back().push_back(std::move(sample));
+  if (--remaining_samples_ == 0) --remaining_trials_;
+}
+
+std::string format_pong() { return "ok pong\n"; }
+
+std::string format_bye() { return "ok bye\n"; }
+
+std::string format_models_response(std::span<const ModelInfo> models) {
+  std::string out = "ok models count=" + std::to_string(models.size()) + "\n";
+  for (const ModelInfo& m : models) {
+    out += "model name=" + m.name + " dim=" + std::to_string(m.dim) +
+           " channels=" + std::to_string(m.channels) + " classes=" + std::to_string(m.classes) +
+           " ngram=" + std::to_string(m.ngram) + " default=" + (m.is_default ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+std::string format_classify_response(const std::string& model,
+                                     std::span<const hd::AmDecision> decisions) {
+  std::string out =
+      "ok classify model=" + model + " results=" + std::to_string(decisions.size()) + "\n";
+  for (const hd::AmDecision& d : decisions) {
+    out += "result label=" + std::to_string(d.label) + " distance=" + std::to_string(d.distance) +
+           " distances=";
+    for (std::size_t i = 0; i < d.distances.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(d.distances[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_error(std::string_view code, std::string_view message) {
+  std::string out = "err code=" + std::string(code) + " msg=";
+  for (const char c : message) out += (c == '\n' || c == '\r') ? ' ' : c;
+  out += '\n';
+  return out;
+}
+
+std::string format_classify_request(const std::string& model,
+                                    std::span<const hd::Trial> trials) {
+  std::string out = std::string(kProtocolVersionToken) + " classify";
+  if (!model.empty()) out += " model=" + model;
+  out += " trials=" + std::to_string(trials.size()) + "\n";
+  for (const hd::Trial& trial : trials) {
+    out += "trial samples=" + std::to_string(trial.size()) + "\n";
+    for (const hd::Sample& sample : trial) {
+      for (std::size_t c = 0; c < sample.size(); ++c) {
+        if (c > 0) out += ' ';
+        append_float(out, sample[c]);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+hd::AmDecision parse_result_line(std::string_view line) {
+  std::string_view rest = strip_cr(line);
+  if (next_token(rest) != "result") {
+    fail(kErrBadRequest, "expected a \"result ...\" line, got \"" + std::string(line) + "\"");
+  }
+  hd::AmDecision decision;
+  decision.label = parse_size(expect_kv(next_token(rest), "label"), "label");
+  decision.distance = parse_size(expect_kv(next_token(rest), "distance"), "distance");
+  std::string_view distances = expect_kv(next_token(rest), "distances");
+  while (!distances.empty()) {
+    const std::size_t comma = distances.find(',');
+    decision.distances.push_back(parse_size(distances.substr(0, comma), "distances"));
+    distances.remove_prefix(comma == std::string_view::npos ? distances.size() : comma + 1);
+  }
+  if (!next_token(rest).empty()) {
+    fail(kErrBadRequest, "unexpected trailing fields on a result line");
+  }
+  return decision;
+}
+
+}  // namespace pulphd::serve

@@ -1,0 +1,158 @@
+// The pulphd serve wire protocol, version 1 ("phd1").
+//
+// A line-delimited text protocol so any scripting tool (`nc`, a shell
+// heredoc, a Python socket) can drive a model server without bindings.
+// This header is the single normative implementation; the prose
+// specification lives in docs/protocol.md and MUST be updated in lockstep
+// with the grammar below (CI's docs job cross-checks the version token and
+// error-code tokens between the two).
+//
+// Grammar (one request per line group; lines end in LF, a trailing CR is
+// tolerated):
+//
+//   request   = ping / models / quit / classify
+//   ping      = "phd1 ping"
+//   models    = "phd1 models"
+//   quit      = "phd1 quit"
+//   classify  = "phd1 classify" [" model=" name] " trials=" K   ; K >= 1
+//               K * trial
+//   trial     = "trial samples=" S                              ; S >= 1
+//               S * sample
+//   sample    = float *(" " float)          ; one value per channel
+//
+// Responses (single header line, then zero or more body lines):
+//
+//   "ok pong"
+//   "ok bye"                                  ; connection closes after quit
+//   "ok models count=" N
+//     N * "model name=" name " dim=" D " channels=" C " classes=" K
+//         " ngram=" G " default=" ("0"/"1")
+//   "ok classify model=" name " results=" K
+//     K * "result label=" L " distance=" D " distances=" d0 "," d1 ...
+//   "err code=" code " msg=" text-to-end-of-line
+//
+// Error codes are the stable machine-readable contract (messages are not):
+//   bad-request          malformed header/body line
+//   unsupported-version  first token is not "phd1"
+//   too-large            trials=/samples= exceed the kMax* limits below
+//   unknown-model        model= names no registered model / no default
+//   bad-trial            trial incompatible with the routed model
+//   internal             unexpected server-side failure
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "hd/associative_memory.hpp"
+#include "hd/classifier.hpp"
+
+namespace pulphd::serve {
+
+/// First token of every request line group; bump for incompatible changes.
+inline constexpr std::string_view kProtocolVersionToken = "phd1";
+
+/// Hard per-request limits, enforced by the parser before any allocation
+/// sized from the wire. A classify of kMaxTrialsPerRequest trials of
+/// kMaxSamplesPerTrial samples is far beyond any EMG workload; real
+/// requests are a handful of ~20-sample trials.
+inline constexpr std::size_t kMaxTrialsPerRequest = 4096;
+inline constexpr std::size_t kMaxSamplesPerTrial = 65536;
+/// Framing bound: a single line longer than this is a protocol violation
+/// (the server replies `too-large` and closes, since framing is lost).
+inline constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/// Stable error-code tokens (see the header comment and docs/protocol.md).
+inline constexpr std::string_view kErrBadRequest = "bad-request";
+inline constexpr std::string_view kErrUnsupportedVersion = "unsupported-version";
+inline constexpr std::string_view kErrTooLarge = "too-large";
+inline constexpr std::string_view kErrUnknownModel = "unknown-model";
+inline constexpr std::string_view kErrBadTrial = "bad-trial";
+inline constexpr std::string_view kErrInternal = "internal";
+
+struct PingRequest {};
+struct ModelsRequest {};
+struct QuitRequest {};
+struct ClassifyRequest {
+  std::string model;              ///< empty = route to the registry default
+  std::vector<hd::Trial> trials;  ///< >= 1 trials, each >= 1 samples
+};
+
+using Request = std::variant<PingRequest, ModelsRequest, QuitRequest, ClassifyRequest>;
+
+/// Incremental (push) request parser: feed protocol lines one at a time;
+/// a completed request pops out once its last line is consumed. Decoupled
+/// from any socket so protocol tests cover it without I/O.
+class RequestParser {
+ public:
+  /// Consumes one line (terminator already stripped; a trailing '\r' is
+  /// removed here). Returns the completed request, or std::nullopt while a
+  /// multi-line classify body still needs lines. Throws pulphd::CodedError
+  /// (code = one of the kErr* tokens) on malformed input; the parser resets
+  /// to the idle state before throwing.
+  std::optional<Request> consume_line(std::string_view line);
+
+  /// True when the parser is between requests (not inside a classify body).
+  bool idle() const noexcept { return pending_ == nullptr; }
+
+  /// True when the last consume_line error made the remaining connection
+  /// input un-frameable, so the caller must drop the connection: any
+  /// failed `classify` parse (header *or* body), because the client has
+  /// typically already pipelined trial lines that would otherwise be
+  /// misread as fresh requests. Failed single-line requests (ping/models/
+  /// quit/unknown/version) leave framing intact and reset this to false.
+  bool framing_lost() const noexcept { return framing_lost_; }
+
+ private:
+  std::optional<Request> consume_header(std::string_view line);
+  void consume_trial_header(std::string_view line);
+  void consume_sample_line(std::string_view line);
+
+  std::unique_ptr<ClassifyRequest> pending_;
+  std::size_t remaining_trials_ = 0;
+  std::size_t remaining_samples_ = 0;  ///< 0 = expecting a "trial" header line
+  bool framing_lost_ = false;
+};
+
+/// Registry-facing model description used by the `models` response.
+struct ModelInfo {
+  std::string name;
+  std::size_t dim = 0;
+  std::size_t channels = 0;
+  std::size_t classes = 0;
+  std::size_t ngram = 0;
+  bool is_default = false;
+};
+
+// --- Response serialization (server side) --------------------------------
+
+std::string format_pong();
+std::string format_bye();
+std::string format_models_response(std::span<const ModelInfo> models);
+/// `model` is the resolved model name the request was routed to (never
+/// empty: default routing reports the default's real name).
+std::string format_classify_response(const std::string& model,
+                                     std::span<const hd::AmDecision> decisions);
+/// Newlines in `message` are flattened to spaces so the response stays one
+/// frame; `code` must be a single token.
+std::string format_error(std::string_view code, std::string_view message);
+
+// --- Request serialization + response parsing (client side) --------------
+
+/// Formats a complete classify request (header + trial blocks), exactly
+/// what a C++ client writes to the socket. Floats are printed with "%.9g",
+/// which round-trips binary32 exactly — a server parsing the text recovers
+/// bit-identical samples, so predictions match the offline batch path.
+std::string format_classify_request(const std::string& model, std::span<const hd::Trial> trials);
+
+/// Parses one "result ..." body line back into an AmDecision (label,
+/// winner distance, full distance row). Throws pulphd::CodedError
+/// (bad-request) on malformed lines. Round-trips format_classify_response.
+hd::AmDecision parse_result_line(std::string_view line);
+
+}  // namespace pulphd::serve

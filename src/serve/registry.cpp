@@ -1,0 +1,101 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/status.hpp"
+#include "hd/serialization.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+const ModelEntry* find_entry(const std::vector<std::unique_ptr<ModelEntry>>& entries,
+                             const std::string& name) {
+  for (const auto& entry : entries) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void ModelRegistry::add(const std::string& name, hd::HdClassifier classifier,
+                        std::string source_path) {
+  if (!hd::is_valid_model_name(name)) {
+    throw std::runtime_error("ModelRegistry: invalid model name \"" + name +
+                             "\" (want 1..64 chars of [A-Za-z0-9._-])");
+  }
+  if (find_entry(entries_, name) != nullptr) {
+    throw std::runtime_error("ModelRegistry: duplicate model name \"" + name + "\"");
+  }
+  entries_.push_back(std::make_unique<ModelEntry>(
+      ModelEntry{name, std::move(classifier), std::move(source_path)}));
+  if (default_name_.empty()) default_name_ = name;
+}
+
+void ModelRegistry::load_file(const std::string& name, const std::string& path,
+                              std::size_t threads) {
+  hd::ClassifierModel model;
+  try {
+    model = hd::load_model_file(path);
+  } catch (const std::exception& e) {
+    // load_model_file already names the path; prepend the routing name so a
+    // multi-model startup failure says exactly which --model argument broke.
+    const std::string who = name.empty() ? "<unnamed>" : name;
+    throw std::runtime_error("ModelRegistry: loading model \"" + who + "\": " + e.what());
+  }
+  const std::string resolved = name.empty() ? model.name : name;
+  if (resolved.empty()) {
+    throw std::runtime_error("ModelRegistry: " + path +
+                             " embeds no model name (serialization v1?); register it as "
+                             "NAME=" +
+                             path);
+  }
+  try {
+    hd::HdClassifier classifier = hd::classifier_from_model(model);
+    classifier.set_threads(threads);
+    add(resolved, std::move(classifier), path);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("ModelRegistry: loading model \"" + resolved + "\" from " + path +
+                             ": " + e.what());
+  }
+}
+
+void ModelRegistry::set_default(const std::string& name) {
+  if (find_entry(entries_, name) == nullptr) {
+    throw std::runtime_error("ModelRegistry: cannot default to unregistered model \"" + name +
+                             "\"");
+  }
+  default_name_ = name;
+}
+
+const ModelEntry& ModelRegistry::resolve(const std::string& name) const {
+  if (entries_.empty()) {
+    throw CodedError(std::string(kErrUnknownModel), "no models are registered");
+  }
+  const std::string& wanted = name.empty() ? default_name_ : name;
+  const ModelEntry* entry = find_entry(entries_, wanted);
+  if (entry == nullptr) {
+    std::string known;
+    for (const auto& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e->name;
+    }
+    throw CodedError(std::string(kErrUnknownModel),
+                     "unknown model \"" + wanted + "\" (registered: " + known + ")");
+  }
+  return *entry;
+}
+
+std::vector<ModelInfo> ModelRegistry::infos() const {
+  std::vector<ModelInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    const hd::ClassifierConfig& cfg = entry->classifier.config();
+    out.push_back(ModelInfo{entry->name, cfg.dim, cfg.channels, cfg.classes, cfg.ngram,
+                            entry->name == default_name_});
+  }
+  return out;
+}
+
+}  // namespace pulphd::serve

@@ -1,0 +1,70 @@
+// ModelRegistry — the multi-model routing table of the serve layer.
+//
+// One serving process holds several named, fully loaded HdClassifiers
+// (per-subject models, the paper's deployment unit: "the model training is
+// done per subject") and routes every classify request by model name, with
+// a configurable default for requests that name none. The registry is
+// built once at startup and read-only afterwards, so concurrent
+// connection threads may resolve() without locking.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hd/classifier.hpp"
+#include "serve/protocol.hpp"
+
+namespace pulphd::serve {
+
+/// One registered model: routing name, ready-to-classify classifier, and
+/// the file it came from ("" for models added in memory).
+struct ModelEntry {
+  std::string name;
+  hd::HdClassifier classifier;
+  std::string source_path;
+};
+
+class ModelRegistry {
+ public:
+  /// Registers a ready classifier under `name`. The first model added
+  /// becomes the default until set_default overrides it. Throws
+  /// std::runtime_error on an invalid name token or a duplicate name.
+  void add(const std::string& name, hd::HdClassifier classifier, std::string source_path = "");
+
+  /// Loads a serialized model from `path` and registers it. `name` may be
+  /// empty, in which case the model's embedded name (serialization format
+  /// v2) is used — an unnamed v1 stream then fails with an error telling
+  /// the operator to pass NAME=PATH. Every failure message includes both
+  /// the model name (when known) and the offending path. `threads` is the
+  /// host-thread knob applied to the loaded classifier.
+  void load_file(const std::string& name, const std::string& path, std::size_t threads = 1);
+
+  /// Makes `name` the default route; throws std::runtime_error when no
+  /// such model is registered.
+  void set_default(const std::string& name);
+
+  /// Routes a request: "" resolves to the default model, anything else to
+  /// the model of that name. Throws pulphd::CodedError(unknown-model) when
+  /// the name is unknown or the registry is empty.
+  const ModelEntry& resolve(const std::string& name) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::string& default_name() const noexcept { return default_name_; }
+
+  /// Entries in registration order (stable for the `models` response).
+  const std::vector<std::unique_ptr<ModelEntry>>& entries() const noexcept { return entries_; }
+
+  /// The `models` response rows for the current contents.
+  std::vector<ModelInfo> infos() const;
+
+ private:
+  // unique_ptr keeps ModelEntry addresses stable across add() so resolve()
+  // results remain valid while the registry grows during startup.
+  std::vector<std::unique_ptr<ModelEntry>> entries_;
+  std::string default_name_;
+};
+
+}  // namespace pulphd::serve

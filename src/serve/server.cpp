@@ -1,0 +1,296 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes the whole buffer; sockets get MSG_NOSIGNAL so a vanished peer
+/// surfaces as an error return instead of SIGPIPE. Returns false once the
+/// peer is gone.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Buffered line framing over a socket fd. Lines are LF-terminated; the
+/// terminator is stripped (RequestParser strips a trailing CR itself).
+class LineReader {
+ public:
+  enum class Result { kLine, kEof, kTooLong };
+
+  LineReader(int fd, std::size_t max_line_bytes) : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  Result next(std::string& line) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n', scan_from_);
+      if (newline != std::string::npos) {
+        if (newline > max_line_bytes_) return Result::kTooLong;
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        scan_from_ = 0;
+        return Result::kLine;
+      }
+      scan_from_ = buffer_.size();
+      if (buffer_.size() > max_line_bytes_) return Result::kTooLong;
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Result::kEof;
+      }
+      // EOF: a partial unterminated line is not a complete frame — drop it.
+      if (n == 0) return Result::kEof;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;
+};
+
+}  // namespace
+
+ClassifyServer::ClassifyServer(const ModelRegistry& registry, ServeConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  if (::pipe(stop_pipe_) != 0) throw_errno("ClassifyServer: pipe");
+}
+
+ClassifyServer::~ClassifyServer() {
+  close_quietly(unix_fd_);
+  close_quietly(tcp_fd_);
+  close_quietly(stop_pipe_[0]);
+  close_quietly(stop_pipe_[1]);
+  // Only unlink a path this instance actually bound: when bind failed with
+  // EADDRINUSE the path belongs to a live server that must keep it.
+  if (unix_bound_) ::unlink(config_.unix_path.c_str());
+}
+
+void ClassifyServer::bind_and_listen() {
+  if (config_.unix_path.empty() && !config_.tcp_enabled) {
+    throw std::runtime_error("ClassifyServer: no listener configured (need a socket path or TCP)");
+  }
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("ClassifyServer: socket path too long: " + config_.unix_path);
+    }
+    std::memcpy(addr.sun_path, config_.unix_path.c_str(), config_.unix_path.size() + 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (unix_fd_ < 0) throw_errno("ClassifyServer: socket(AF_UNIX)");
+    if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("ClassifyServer: bind " + config_.unix_path +
+                  (errno == EADDRINUSE ? " (stale socket? remove it first)" : ""));
+    }
+    unix_bound_ = true;  // bind created the path; from here on it is ours to unlink
+    if (::listen(unix_fd_, 64) != 0) throw_errno("ClassifyServer: listen " + config_.unix_path);
+  }
+  if (config_.tcp_enabled) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (tcp_fd_ < 0) throw_errno("ClassifyServer: socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a non-local interface
+    addr.sin_port = htons(config_.tcp_port);
+    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("ClassifyServer: bind 127.0.0.1:" + std::to_string(config_.tcp_port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      throw_errno("ClassifyServer: getsockname");
+    }
+    tcp_port_ = static_cast<int>(ntohs(addr.sin_port));
+    if (::listen(tcp_fd_, 64) != 0) {
+      throw_errno("ClassifyServer: listen 127.0.0.1:" + std::to_string(tcp_port_));
+    }
+  }
+}
+
+void ClassifyServer::stop() noexcept {
+  stopping_.store(true);
+  const char byte = 1;
+  // write(2) is async-signal-safe; a full pipe is fine (a byte is pending).
+  (void)::write(stop_pipe_[1], &byte, 1);
+}
+
+void ClassifyServer::run() {
+  check_invariant(unix_fd_ >= 0 || tcp_fd_ >= 0, "ClassifyServer::run before bind_and_listen");
+  while (!stopping_.load()) {
+    pollfd fds[3];
+    nfds_t count = 0;
+    fds[count++] = {stop_pipe_[0], POLLIN, 0};
+    if (unix_fd_ >= 0) fds[count++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[count++] = {tcp_fd_, POLLIN, 0};
+    if (::poll(fds, count, -1) < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("ClassifyServer: poll");
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // stop() signalled
+    for (nfds_t i = 1; i < count; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept4(fds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (client < 0) continue;  // peer vanished between poll and accept
+      // Register the fd before the thread exists: the shutdown sweep below
+      // takes the same lock, so it can never run between "thread spawned"
+      // and "fd registered" and leave a connection it cannot unblock.
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        active_fds_.push_back(client);
+        ++live_connections_;
+      }
+      try {
+        std::thread([this, client] { run_connection(client); }).detach();
+      } catch (const std::system_error&) {
+        // Thread exhaustion (EAGAIN): drop this connection and roll the
+        // registration back — a leaked live_connections_ increment would
+        // wedge the shutdown drain forever.
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        std::erase(active_fds_, client);
+        ::close(client);
+        --live_connections_;
+      }
+    }
+  }
+  // Shut down: stop accepting, unblock every connection thread's read,
+  // then drain the detached threads via the live-connection count.
+  close_quietly(unix_fd_);
+  close_quietly(tcp_fd_);
+  if (unix_bound_) {
+    ::unlink(config_.unix_path.c_str());
+    unix_bound_ = false;
+  }
+  std::unique_lock<std::mutex> lock(connections_mutex_);
+  for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  connections_cv_.wait(lock, [this] { return live_connections_ == 0; });
+}
+
+void ClassifyServer::run_connection(int fd) {
+  serve_loop(fd);
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  std::erase(active_fds_, fd);
+  // Closing under the lock keeps the shutdown sweep away from a reused
+  // fd number: a new accept registers under this same lock.
+  ::close(fd);
+  --live_connections_;
+  // Notify while still holding the mutex: the drain in run() can only
+  // observe live_connections_ == 0 (and let the server be destroyed)
+  // after this thread has released the lock, i.e. after the notify has
+  // finished touching the condition variable.
+  connections_cv_.notify_all();
+}
+
+void ClassifyServer::serve_connection(int fd) const {
+  serve_loop(fd);
+  ::close(fd);
+}
+
+void ClassifyServer::serve_loop(int fd) const {
+  LineReader reader(fd, config_.max_line_bytes);
+  RequestParser parser;
+  std::string line;
+  while (true) {
+    const LineReader::Result got = reader.next(line);
+    if (got == LineReader::Result::kEof) break;
+    if (got == LineReader::Result::kTooLong) {
+      // Framing is lost — answer once and drop the connection.
+      send_all(fd, format_error(kErrTooLarge,
+                                "line exceeds " + std::to_string(config_.max_line_bytes) +
+                                    " bytes"));
+      break;
+    }
+    std::optional<Request> request;
+    try {
+      request = parser.consume_line(line);
+    } catch (const CodedError& e) {
+      if (!send_all(fd, format_error(e.code(), e.what()))) break;
+      // A failed classify (header or body) loses line framing: its
+      // already-sent trial lines would be misread as fresh requests.
+      // Failed single-line requests keep the connection usable.
+      if (parser.framing_lost()) break;
+      continue;
+    }
+    if (!request.has_value()) continue;
+    if (std::holds_alternative<QuitRequest>(*request)) {
+      send_all(fd, format_bye());
+      break;
+    }
+    if (!send_all(fd, handle_request(*request))) break;
+  }
+}
+
+std::string ClassifyServer::handle_request(const Request& request) const {
+  try {
+    if (std::holds_alternative<PingRequest>(request)) return format_pong();
+    if (std::holds_alternative<ModelsRequest>(request)) {
+      return format_models_response(registry_.infos());
+    }
+    const auto& classify = std::get<ClassifyRequest>(request);
+    const ModelEntry& entry = registry_.resolve(classify.model);
+    const hd::ClassifierConfig& cfg = entry.classifier.config();
+    for (std::size_t t = 0; t < classify.trials.size(); ++t) {
+      const hd::Trial& trial = classify.trials[t];
+      if (trial.size() < cfg.ngram) {
+        throw CodedError(std::string(kErrBadTrial),
+                         "trial " + std::to_string(t) + " has " + std::to_string(trial.size()) +
+                             " samples but model \"" + entry.name + "\" needs >= " +
+                             std::to_string(cfg.ngram) + " (its N-gram size)");
+      }
+      for (const hd::Sample& sample : trial) {
+        if (sample.size() != cfg.channels) {
+          throw CodedError(std::string(kErrBadTrial),
+                           "trial " + std::to_string(t) + " has a sample with " +
+                               std::to_string(sample.size()) + " channels but model \"" +
+                               entry.name + "\" expects " + std::to_string(cfg.channels));
+        }
+      }
+    }
+    // The bit-identical offline batch path: parallel fused encode across
+    // the classifier's host threads, then the word-parallel AM kernel.
+    const std::vector<hd::AmDecision> decisions =
+        entry.classifier.predict_batch(classify.trials);
+    return format_classify_response(entry.name, decisions);
+  } catch (const CodedError& e) {
+    return format_error(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return format_error(kErrInternal, e.what());
+  }
+}
+
+}  // namespace pulphd::serve

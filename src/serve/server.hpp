@@ -1,0 +1,103 @@
+// ClassifyServer — the long-lived serving loop behind `pulphd_cli serve`.
+//
+// Listens on a Unix-domain socket (the deployment default: local IPC, file
+// permissions as access control) and/or a loopback TCP port, speaks the
+// phd1 wire protocol (serve/protocol.hpp, docs/protocol.md), and answers
+// classify requests from a read-only ModelRegistry. Model load is paid
+// once at startup; every classify routes through
+// HdClassifier::predict_batch, so a request's trials are encoded and
+// classified with the classifier's host-thread setting — per-request
+// parallelism for free, bit-identical to the offline batch path.
+//
+// Concurrency model: one accept loop (run()), one thread per connection,
+// requests within a connection answered in order. The registry is
+// immutable while serving, so connection threads share it without locks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/registry.hpp"
+
+namespace pulphd::serve {
+
+struct ServeConfig {
+  /// Path for the Unix-domain listener; empty disables it. The path is
+  /// created on bind_and_listen (failing if it already exists) and
+  /// unlinked on shutdown.
+  std::string unix_path;
+  /// When true, also listen on TCP 127.0.0.1:`tcp_port` (0 = ephemeral;
+  /// read the chosen port back with tcp_port()). Loopback only — the
+  /// protocol has no authentication, so it is never exposed beyond the
+  /// host.
+  bool tcp_enabled = false;
+  std::uint16_t tcp_port = 0;
+  /// Framing bound per protocol line; longer lines answer `too-large` and
+  /// drop the connection (framing is lost).
+  std::size_t max_line_bytes = kMaxLineBytes;
+};
+
+class ClassifyServer {
+ public:
+  /// The registry must outlive the server and must not be mutated while
+  /// run() is live (it is shared, unlocked, across connection threads).
+  ClassifyServer(const ModelRegistry& registry, ServeConfig config);
+  ~ClassifyServer();
+
+  ClassifyServer(const ClassifyServer&) = delete;
+  ClassifyServer& operator=(const ClassifyServer&) = delete;
+
+  /// Creates the configured listeners. Throws std::runtime_error when
+  /// neither listener is configured or a socket/bind/listen call fails
+  /// (message includes the path/port and errno text).
+  void bind_and_listen();
+
+  /// Actual TCP port after bind_and_listen (resolves tcp_port == 0);
+  /// -1 when TCP is disabled.
+  int tcp_port() const noexcept { return tcp_port_; }
+
+  /// Accept loop: serves until stop() is called, then shuts down every
+  /// active connection, joins its threads and closes the listeners.
+  /// Requires bind_and_listen() first.
+  void run();
+
+  /// Requests shutdown. Async-signal-safe (writes one byte to a pipe), so
+  /// a SIGINT/SIGTERM handler may call it directly.
+  void stop() noexcept;
+
+  /// Serves one already-established connection until the peer closes, a
+  /// `quit` request, or an unrecoverable protocol error; closes `fd`.
+  /// Exposed so tests drive the full request/response loop over a
+  /// socketpair without any listener.
+  void serve_connection(int fd) const;
+
+ private:
+  void serve_loop(int fd) const;
+  void run_connection(int fd);
+  std::string handle_request(const Request& request) const;
+
+  const ModelRegistry& registry_;
+  ServeConfig config_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  bool unix_bound_ = false;  ///< we created unix_path, so we may unlink it
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  // Connection threads are detached (a long-lived daemon must not
+  // accumulate one joinable handle per finished connection); shutdown
+  // instead drains them via the live-connection count. The accept loop
+  // registers each fd *before* spawning its thread, so the shutdown sweep
+  // can never miss a connection.
+  std::mutex connections_mutex_;
+  std::condition_variable connections_cv_;
+  std::vector<int> active_fds_;
+  std::size_t live_connections_ = 0;
+};
+
+}  // namespace pulphd::serve

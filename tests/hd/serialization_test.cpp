@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace pulphd::hd {
@@ -97,6 +98,72 @@ TEST(Serialization, RejectsWrongVersion) {
 
 TEST(Serialization, LoadFileErrorsOnMissingPath) {
   EXPECT_THROW((void)load_model_file("/nonexistent/dir/model.bin"), std::runtime_error);
+}
+
+TEST(Serialization, EmbeddedNameRoundTrips) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer, "subject-3.v2");
+  const ClassifierModel model = load_model(buffer);
+  EXPECT_EQ(model.name, "subject-3.v2");
+  EXPECT_EQ(model.am, original.am().prototypes());
+}
+
+TEST(Serialization, UnnamedSaveLoadsWithEmptyName) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  EXPECT_EQ(load_model(buffer).name, "");
+}
+
+TEST(Serialization, SaveRejectsInvalidNames) {
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  EXPECT_THROW(save_model(original, buffer, "has space"), std::runtime_error);
+  EXPECT_THROW(save_model(original, buffer, "new\nline"), std::runtime_error);
+  EXPECT_THROW(save_model(original, buffer, std::string(65, 'a')), std::runtime_error);
+}
+
+TEST(Serialization, ModelNameTokenValidation) {
+  EXPECT_TRUE(is_valid_model_name("subj0"));
+  EXPECT_TRUE(is_valid_model_name("a.b_c-D9"));
+  EXPECT_FALSE(is_valid_model_name(""));
+  EXPECT_FALSE(is_valid_model_name("has space"));
+  EXPECT_FALSE(is_valid_model_name("slash/y"));
+  EXPECT_FALSE(is_valid_model_name(std::string(65, 'x')));
+}
+
+TEST(Serialization, Version1StreamsStillLoad) {
+  // A v1 stream is a v2 stream with the version field set to 1 and the
+  // name-length field (8 bytes after the 72-byte fixed header) removed.
+  const HdClassifier original = trained_classifier();
+  std::stringstream buffer;
+  save_model(original, buffer);  // unnamed: name_len = 0, no name bytes
+  std::string bytes = buffer.str();
+  bytes[4] = 0x01;  // version 2 -> 1 (little-endian u32)
+  bytes.erase(72, 8);
+  std::stringstream v1(bytes);
+  const ClassifierModel model = load_model(v1);
+  EXPECT_EQ(model.name, "");
+  EXPECT_EQ(model.config.dim, original.config().dim);
+  EXPECT_EQ(model.am, original.am().prototypes());
+}
+
+TEST(Serialization, LoadFileErrorsNameThePath) {
+  // Regression: a multi-model registry startup loads many files; a parse
+  // failure must say which one was bad, not just "bad magic".
+  const std::string path = ::testing::TempDir() + "/pulphd_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a model";
+  }
+  try {
+    (void)load_model_file(path);
+    FAIL() << "load_model_file should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Serialization, RejectsAbsurdHeaderFields) {

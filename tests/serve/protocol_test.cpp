@@ -1,0 +1,232 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+/// Feeds `text` (protocol lines, '\n'-separated) to a parser and returns
+/// every completed request.
+std::vector<Request> parse_all(RequestParser& parser, const std::string& text) {
+  std::vector<Request> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (auto request = parser.consume_line(line)) out.push_back(std::move(*request));
+  }
+  return out;
+}
+
+std::string code_of(RequestParser& parser, const std::string& text) {
+  try {
+    parse_all(parser, text);
+  } catch (const CodedError& e) {
+    return e.code();
+  }
+  return "";
+}
+
+TEST(ServeProtocolParse, SimpleCommands) {
+  RequestParser parser;
+  const auto requests = parse_all(parser, "phd1 ping\nphd1 models\nphd1 quit\n");
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(requests[0]));
+  EXPECT_TRUE(std::holds_alternative<ModelsRequest>(requests[1]));
+  EXPECT_TRUE(std::holds_alternative<QuitRequest>(requests[2]));
+}
+
+TEST(ServeProtocolParse, ToleratesCarriageReturnsAndBlankLines) {
+  RequestParser parser;
+  const auto requests = parse_all(parser, "\nphd1 ping\r\n\r\nphd1 ping\n");
+  EXPECT_EQ(requests.size(), 2u);
+}
+
+TEST(ServeProtocolParse, ClassifyWithModelAndTwoTrials) {
+  RequestParser parser;
+  const auto requests = parse_all(parser,
+                                  "phd1 classify model=subj1 trials=2\n"
+                                  "trial samples=2\n"
+                                  "1 2.5 3\n"
+                                  "4 5 6\n"
+                                  "trial samples=1\n"
+                                  "-7 0.125 9\n");
+  ASSERT_EQ(requests.size(), 1u);
+  const auto& classify = std::get<ClassifyRequest>(requests[0]);
+  EXPECT_EQ(classify.model, "subj1");
+  ASSERT_EQ(classify.trials.size(), 2u);
+  ASSERT_EQ(classify.trials[0].size(), 2u);
+  EXPECT_EQ(classify.trials[0][0], (hd::Sample{1.0f, 2.5f, 3.0f}));
+  EXPECT_EQ(classify.trials[0][1], (hd::Sample{4.0f, 5.0f, 6.0f}));
+  ASSERT_EQ(classify.trials[1].size(), 1u);
+  EXPECT_EQ(classify.trials[1][0], (hd::Sample{-7.0f, 0.125f, 9.0f}));
+}
+
+TEST(ServeProtocolParse, ClassifyWithoutModelRoutesToDefault) {
+  RequestParser parser;
+  const auto requests = parse_all(parser, "phd1 classify trials=1\ntrial samples=1\n1\n");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(std::get<ClassifyRequest>(requests[0]).model, "");
+}
+
+TEST(ServeProtocolParse, IdleTracksClassifyBody) {
+  RequestParser parser;
+  EXPECT_TRUE(parser.idle());
+  EXPECT_EQ(parser.consume_line("phd1 classify trials=1"), std::nullopt);
+  EXPECT_FALSE(parser.idle());
+  EXPECT_EQ(parser.consume_line("trial samples=2"), std::nullopt);
+  EXPECT_EQ(parser.consume_line("1 2"), std::nullopt);
+  EXPECT_FALSE(parser.idle());
+  EXPECT_TRUE(parser.consume_line("3 4").has_value());
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeProtocolParse, BackToBackRequestsOnOneConnection) {
+  RequestParser parser;
+  const auto requests = parse_all(parser,
+                                  "phd1 classify trials=1\ntrial samples=1\n1 2\n"
+                                  "phd1 ping\n"
+                                  "phd1 classify model=m trials=1\ntrial samples=1\n3 4\n");
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(requests[1]));
+  EXPECT_EQ(std::get<ClassifyRequest>(requests[2]).model, "m");
+}
+
+TEST(ServeProtocolParse, MalformedFramesReportStableCodes) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"phd2 ping\n", "unsupported-version"},
+      {"PHD1 ping\n", "unsupported-version"},
+      {"phd1 bogus\n", "bad-request"},
+      {"phd1 ping extra\n", "bad-request"},
+      {"phd1 classify\n", "bad-request"},
+      {"phd1 classify trials=\n", "bad-request"},
+      {"phd1 classify trials=zero\n", "bad-request"},
+      {"phd1 classify trials=0\n", "bad-request"},
+      {"phd1 classify trials=1 extra=1\n", "bad-request"},
+      {"phd1 classify model=bad/name trials=1\n", "bad-request"},
+      {"phd1 classify trials=99999999\n", "too-large"},
+      {"phd1 classify trials=1\nsamples=1\n", "bad-request"},
+      {"phd1 classify trials=1\ntrial samples=0\n", "bad-request"},
+      {"phd1 classify trials=1\ntrial samples=99999999\n", "too-large"},
+      {"phd1 classify trials=1\ntrial samples=1\n\n", "bad-request"},
+      {"phd1 classify trials=1\ntrial samples=1\n1 fish\n", "bad-request"},
+      {"phd1 classify trials=1\ntrial samples=1\n1 inf\n", "bad-request"},
+      {"phd1 classify trials=1\ntrial samples=1\nnan\n", "bad-request"},
+  };
+  for (const auto& [text, code] : cases) {
+    RequestParser parser;
+    EXPECT_EQ(code_of(parser, text), code) << "input: " << text;
+  }
+}
+
+TEST(ServeProtocolParse, FramingLostTracksClassifyFailures) {
+  // Single-line failures leave framing intact.
+  for (const std::string line : {"phd2 ping", "phd1 bogus", "phd1 ping extra"}) {
+    RequestParser parser;
+    EXPECT_THROW((void)parser.consume_line(line), CodedError);
+    EXPECT_FALSE(parser.framing_lost()) << line;
+  }
+  // Any classify failure — header or body — loses framing: the client has
+  // already pipelined trial lines behind it.
+  for (const std::string text :
+       {"phd1 classify trials=0\n", "phd1 classify trials=99999999\n",
+        "phd1 classify trials=nope\n", "phd1 classify trials=1\ntrial samples=oops\n",
+        "phd1 classify trials=1\ntrial samples=1\nbad float\n"}) {
+    RequestParser parser;
+    EXPECT_THROW(parse_all(parser, text), CodedError) << text;
+    EXPECT_TRUE(parser.framing_lost()) << text;
+  }
+  // A successful request (classify included) clears the flag.
+  RequestParser parser;
+  EXPECT_THROW((void)parser.consume_line("phd1 classify trials=0"), CodedError);
+  const auto requests =
+      parse_all(parser, "phd1 classify trials=1\ntrial samples=1\n1 2\n");
+  EXPECT_EQ(requests.size(), 1u);
+  EXPECT_FALSE(parser.framing_lost());
+}
+
+TEST(ServeProtocolParse, ResetsToIdleAfterError) {
+  RequestParser parser;
+  EXPECT_EQ(parser.consume_line("phd1 classify trials=1"), std::nullopt);
+  EXPECT_FALSE(parser.idle());
+  EXPECT_THROW((void)parser.consume_line("trial samples=oops"), CodedError);
+  EXPECT_TRUE(parser.idle());
+  // A fresh request parses normally afterwards.
+  const auto request = parser.consume_line("phd1 ping");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*request));
+}
+
+TEST(ServeProtocolRoundTrip, ClassifyRequestSurvivesFormatting) {
+  std::vector<hd::Trial> trials = {
+      {{0.1f, 21.0f, 3.14159274f}, {1e-7f, 1234567.0f, -3.25f}},
+      {{0.333333343f, 2.0f, 7.875f}},
+  };
+  const std::string wire = format_classify_request("subj0", trials);
+  RequestParser parser;
+  std::vector<Request> requests;
+  std::istringstream lines(wire);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (auto request = parser.consume_line(line)) requests.push_back(std::move(*request));
+  }
+  ASSERT_EQ(requests.size(), 1u);
+  const auto& classify = std::get<ClassifyRequest>(requests[0]);
+  EXPECT_EQ(classify.model, "subj0");
+  // %.9g formatting + from_chars parsing round-trips binary32 exactly.
+  EXPECT_EQ(classify.trials, trials);
+}
+
+TEST(ServeProtocolRoundTrip, ResultLinesSurviveFormatting) {
+  std::vector<hd::AmDecision> decisions(2);
+  decisions[0].label = 3;
+  decisions[0].distance = 120;
+  decisions[0].distances = {300, 250, 199, 120, 500};
+  decisions[1].label = 0;
+  decisions[1].distance = 0;
+  decisions[1].distances = {0, 1};
+  const std::string wire = format_classify_response("m", decisions);
+  std::istringstream lines(wire);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header, "ok classify model=m results=2");
+  for (const hd::AmDecision& expected : decisions) {
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    const hd::AmDecision parsed = parse_result_line(line);
+    EXPECT_EQ(parsed.label, expected.label);
+    EXPECT_EQ(parsed.distance, expected.distance);
+    EXPECT_EQ(parsed.distances, expected.distances);
+  }
+}
+
+TEST(ServeProtocolFormat, ModelsResponse) {
+  const std::vector<ModelInfo> infos = {
+      {"subj0", 10000, 4, 5, 1, true},
+      {"subj1", 10000, 4, 5, 1, false},
+  };
+  EXPECT_EQ(format_models_response(infos),
+            "ok models count=2\n"
+            "model name=subj0 dim=10000 channels=4 classes=5 ngram=1 default=1\n"
+            "model name=subj1 dim=10000 channels=4 classes=5 ngram=1 default=0\n");
+}
+
+TEST(ServeProtocolFormat, ErrorFlattensNewlines) {
+  EXPECT_EQ(format_error(kErrInternal, "boom\nsecond line"),
+            "err code=internal msg=boom second line\n");
+}
+
+TEST(ServeProtocolFormat, MalformedResultLinesThrow) {
+  EXPECT_THROW((void)parse_result_line("nonsense"), CodedError);
+  EXPECT_THROW((void)parse_result_line("result label=x distance=1 distances=1"), CodedError);
+  EXPECT_THROW((void)parse_result_line("result label=1 distance=1 distances=1,fish"), CodedError);
+  EXPECT_THROW((void)parse_result_line("result label=1 distance=1 distances=1 extra"), CodedError);
+}
+
+}  // namespace
+}  // namespace pulphd::serve

@@ -1,0 +1,163 @@
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+#include "hd/serialization.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+hd::HdClassifier tiny_classifier(std::uint64_t seed) {
+  hd::ClassifierConfig cfg;
+  cfg.dim = 256;
+  cfg.channels = 4;
+  cfg.levels = 8;
+  cfg.max_value = 7.0;
+  cfg.classes = 3;
+  cfg.seed = seed;
+  hd::HdClassifier clf(cfg);
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    hd::Trial trial;
+    for (int i = 0; i < 6; ++i) {
+      trial.push_back({static_cast<float>(c), static_cast<float>(7 - c),
+                       static_cast<float>(2 * c % 7), 3.0f});
+    }
+    clf.train(trial, c);
+  }
+  return clf;
+}
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ModelRegistry, RoutesByNameWithFirstModelAsDefault) {
+  ModelRegistry registry;
+  registry.add("subj0", tiny_classifier(1));
+  registry.add("subj1", tiny_classifier(2));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.default_name(), "subj0");
+  EXPECT_EQ(registry.resolve("subj1").name, "subj1");
+  EXPECT_EQ(registry.resolve("subj0").name, "subj0");
+  // The empty name routes to the default.
+  EXPECT_EQ(registry.resolve("").name, "subj0");
+}
+
+TEST(ModelRegistry, SetDefaultRedirectsEmptyName) {
+  ModelRegistry registry;
+  registry.add("a", tiny_classifier(1));
+  registry.add("b", tiny_classifier(2));
+  registry.set_default("b");
+  EXPECT_EQ(registry.resolve("").name, "b");
+  EXPECT_THROW(registry.set_default("missing"), std::runtime_error);
+}
+
+TEST(ModelRegistry, UnknownModelIsACodedError) {
+  ModelRegistry registry;
+  registry.add("subj0", tiny_classifier(1));
+  try {
+    (void)registry.resolve("subj9");
+    FAIL() << "resolve should have thrown";
+  } catch (const CodedError& e) {
+    EXPECT_EQ(e.code(), kErrUnknownModel);
+    // The message lists the registered models so a misrouted client can
+    // fix itself.
+    EXPECT_NE(std::string(e.what()).find("subj0"), std::string::npos);
+  }
+}
+
+TEST(ModelRegistry, EmptyRegistryResolvesToUnknownModel) {
+  const ModelRegistry registry;
+  EXPECT_THROW((void)registry.resolve(""), CodedError);
+}
+
+TEST(ModelRegistry, RejectsDuplicateAndInvalidNames) {
+  ModelRegistry registry;
+  registry.add("subj0", tiny_classifier(1));
+  EXPECT_THROW(registry.add("subj0", tiny_classifier(2)), std::runtime_error);
+  EXPECT_THROW(registry.add("has space", tiny_classifier(2)), std::runtime_error);
+  EXPECT_THROW(registry.add("", tiny_classifier(2)), std::runtime_error);
+}
+
+TEST(ModelRegistry, LoadFileUsesEmbeddedNameAndAppliesThreads) {
+  const std::string path = ::testing::TempDir() + "/registry_named.phd";
+  hd::save_model_file(tiny_classifier(3), path, "embedded");
+  ModelRegistry registry;
+  registry.load_file("", path, 4);
+  const ModelEntry& entry = registry.resolve("embedded");
+  EXPECT_EQ(entry.source_path, path);
+  EXPECT_EQ(entry.classifier.config().threads, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, ExplicitNameOverridesEmbeddedName) {
+  const std::string path = ::testing::TempDir() + "/registry_override.phd";
+  hd::save_model_file(tiny_classifier(3), path, "embedded");
+  ModelRegistry registry;
+  registry.load_file("override", path);
+  EXPECT_EQ(registry.resolve("override").name, "override");
+  EXPECT_THROW((void)registry.resolve("embedded"), CodedError);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, UnnamedFileWithoutExplicitNameExplainsTheFix) {
+  const std::string path = ::testing::TempDir() + "/registry_unnamed.phd";
+  hd::save_model_file(tiny_classifier(3), path);  // no embedded name
+  ModelRegistry registry;
+  const std::string message =
+      error_message([&] { registry.load_file("", path); });
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("NAME="), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, LoadErrorsNameTheModelAndPath) {
+  // Regression: load failures used to be anonymous ("bad magic"), which is
+  // fatal when a serve startup loads many per-subject models — the
+  // operator must see which --model argument broke.
+  const std::string path = ::testing::TempDir() + "/registry_garbage.phd";
+  std::ofstream(path, std::ios::binary) << "this is not a model";
+  ModelRegistry registry;
+  const std::string message =
+      error_message([&] { registry.load_file("subj7", path); });
+  EXPECT_NE(message.find("subj7"), std::string::npos) << message;
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  std::remove(path.c_str());
+
+  const std::string missing = ::testing::TempDir() + "/registry_missing.phd";
+  const std::string message2 =
+      error_message([&] { registry.load_file("subj8", missing); });
+  EXPECT_NE(message2.find("subj8"), std::string::npos) << message2;
+  EXPECT_NE(message2.find(missing), std::string::npos) << message2;
+}
+
+TEST(ModelRegistry, InfosMatchRegistrationOrderAndDefault) {
+  ModelRegistry registry;
+  registry.add("a", tiny_classifier(1));
+  registry.add("b", tiny_classifier(2));
+  registry.set_default("b");
+  const std::vector<ModelInfo> infos = registry.infos();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "a");
+  EXPECT_FALSE(infos[0].is_default);
+  EXPECT_EQ(infos[1].name, "b");
+  EXPECT_TRUE(infos[1].is_default);
+  EXPECT_EQ(infos[0].dim, 256u);
+  EXPECT_EQ(infos[0].channels, 4u);
+  EXPECT_EQ(infos[0].classes, 3u);
+  EXPECT_EQ(infos[0].ngram, 1u);
+}
+
+}  // namespace
+}  // namespace pulphd::serve

@@ -1,0 +1,346 @@
+// Client/server integration tests for the serve layer: a scripted client
+// drives a real ClassifyServer over a socketpair (no listener needed) and
+// over real Unix-domain / loopback-TCP listeners, asserting that served
+// predictions are bit-identical to the offline HdClassifier::predict_batch
+// path and that protocol errors keep or drop the connection as specified
+// in docs/protocol.md.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+hd::HdClassifier trained_classifier(std::uint64_t seed, std::size_t ngram = 1) {
+  hd::ClassifierConfig cfg;
+  cfg.dim = 512;
+  cfg.channels = 4;
+  cfg.levels = 8;
+  cfg.max_value = 7.0;
+  cfg.classes = 3;
+  cfg.ngram = ngram;
+  cfg.seed = seed;
+  hd::HdClassifier clf(cfg);
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    hd::Trial trial;
+    for (int i = 0; i < 8; ++i) {
+      trial.push_back({static_cast<float>((c + i) % 8), static_cast<float>(7 - c),
+                       static_cast<float>((3 * c + i) % 8), static_cast<float>(i % 8)});
+    }
+    clf.train(trial, c);
+  }
+  return clf;
+}
+
+std::vector<hd::Trial> query_trials() {
+  std::vector<hd::Trial> trials;
+  // Deliberately awkward floats: they must survive the text round-trip
+  // bit-exactly for served predictions to match the offline path.
+  trials.push_back({{0.1f, 6.9f, 3.3333333f, 1.0f}, {2.0f, 5.0f, 0.125f, 6.875f}});
+  trials.push_back({{1.0f, 1.0f, 1.0f, 1.0f}});
+  trials.push_back({{6.0f, 0.5f, 2.25f, 3.0f}, {0.0f, 7.0f, 1.5f, 2.0f}, {4.0f, 4.0f, 4.0f, 4.0f}});
+  return trials;
+}
+
+/// A scripted blocking client on one end of a connection.
+class Client {
+ public:
+  explicit Client(int fd) : fd_(fd) {}
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::string& data) {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  /// Reads one '\n'-terminated line (blocking). Fails the test on EOF.
+  std::string read_line() {
+    std::string line;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while expecting a line";
+        return line;
+      }
+      if (c == '\n') return line;
+      line += c;
+    }
+  }
+
+  /// True when the peer has closed (read returns EOF).
+  bool at_eof() {
+    char c = 0;
+    return ::read(fd_, &c, 1) == 0;
+  }
+
+  void close_now() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// One serve_connection loop over a socketpair — the pure request/response
+/// path without listener setup. The destructor closes the client end (which
+/// lets the connection thread see EOF) before joining it, so every member
+/// outlives the thread.
+class Harness {
+ public:
+  explicit Harness(const ModelRegistry& registry, ServeConfig config = {})
+      : server_(registry, std::move(config)) {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    thread_ = std::thread([this, fd = fds[0]] { server_.serve_connection(fd); });
+    client_ = std::make_unique<Client>(fds[1]);
+  }
+
+  ~Harness() {
+    client_->close_now();
+    thread_.join();
+  }
+
+  Client& client() { return *client_; }
+
+ private:
+  ClassifyServer server_;
+  std::thread thread_;
+  std::unique_ptr<Client> client_;
+};
+
+/// Fixture: two named models for routing tests.
+class ServeConnectionTest : public ::testing::Test {
+ protected:
+  ServeConnectionTest() {
+    registry_.add("subj0", trained_classifier(11));
+    registry_.add("subj1", trained_classifier(22));
+  }
+
+  ModelRegistry registry_;
+};
+
+TEST_F(ServeConnectionTest, ServedPredictionsAreBitIdenticalToOfflineBatch) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  const std::vector<hd::Trial> trials = query_trials();
+  for (const std::string model : {"subj0", "subj1"}) {
+    const std::vector<hd::AmDecision> offline =
+        registry_.resolve(model).classifier.predict_batch(trials);
+    client.send(format_classify_request(model, trials));
+    EXPECT_EQ(client.read_line(),
+              "ok classify model=" + model + " results=" + std::to_string(trials.size()));
+    for (const hd::AmDecision& expected : offline) {
+      const hd::AmDecision served = parse_result_line(client.read_line());
+      EXPECT_EQ(served.label, expected.label);
+      EXPECT_EQ(served.distance, expected.distance);
+      EXPECT_EQ(served.distances, expected.distances);
+    }
+  }
+  client.send("phd1 quit\n");
+  EXPECT_EQ(client.read_line(), "ok bye");
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST_F(ServeConnectionTest, DefaultRoutingAnswersWithTheResolvedName) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  const std::vector<hd::Trial> trials = query_trials();
+  const std::vector<hd::AmDecision> offline =
+      registry_.resolve("subj0").classifier.predict_batch(trials);
+  client.send(format_classify_request("", trials));  // no model= field
+  EXPECT_EQ(client.read_line(), "ok classify model=subj0 results=3");
+  for (const hd::AmDecision& expected : offline) {
+    EXPECT_EQ(parse_result_line(client.read_line()).distances, expected.distances);
+  }
+}
+
+TEST_F(ServeConnectionTest, PingModelsAndErrorsKeepTheConnectionUsable) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  client.send("phd1 ping\n");
+  EXPECT_EQ(client.read_line(), "ok pong");
+  client.send("phd1 models\n");
+  EXPECT_EQ(client.read_line(), "ok models count=2");
+  EXPECT_EQ(client.read_line(), "model name=subj0 dim=512 channels=4 classes=3 ngram=1 default=1");
+  EXPECT_EQ(client.read_line(), "model name=subj1 dim=512 channels=4 classes=3 ngram=1 default=0");
+  // Unknown model: request-level error, connection stays up.
+  client.send("phd1 classify model=subj9 trials=1\ntrial samples=1\n1 2 3 4\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=unknown-model"));
+  // Malformed header: line-level error, connection stays up.
+  client.send("phd1 frobnicate\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-request"));
+  // Wrong channel count: bad-trial, connection stays up.
+  client.send("phd1 classify trials=1\ntrial samples=1\n1 2\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-trial"));
+  client.send("phd1 ping\n");
+  EXPECT_EQ(client.read_line(), "ok pong");
+  client.send("phd1 quit\n");
+  EXPECT_EQ(client.read_line(), "ok bye");
+}
+
+TEST_F(ServeConnectionTest, TrialShorterThanNgramIsBadTrial) {
+  ModelRegistry ngram_registry;
+  ngram_registry.add("ngram3", trained_classifier(33, /*ngram=*/3));
+  Harness harness(ngram_registry);
+  Client& client = harness.client();
+  client.send("phd1 classify trials=1\ntrial samples=2\n1 2 3 4\n5 6 7 8\n");
+  const std::string line = client.read_line();
+  EXPECT_TRUE(line.starts_with("err code=bad-trial")) << line;
+  EXPECT_NE(line.find("ngram3"), std::string::npos) << line;
+}
+
+TEST_F(ServeConnectionTest, ClassifyHeaderErrorDropsTheConnection) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  // A rejected classify header closes too: the pipelined body lines below
+  // it must not be misread as fresh requests (which would answer one
+  // bogus error per line).
+  client.send("phd1 classify trials=0\ntrial samples=1\n1 2 3 4\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-request"));
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST_F(ServeConnectionTest, MidBodyErrorDropsTheConnection) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  // The malformed sample arrives mid-classify: framing is lost, so the
+  // server must answer once and close instead of misreading the remaining
+  // body lines as fresh requests.
+  client.send("phd1 classify trials=1\ntrial samples=2\n1 2 3 4\nnot a float\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-request"));
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST_F(ServeConnectionTest, OverlongLineAnswersTooLargeAndCloses) {
+  ServeConfig config;
+  config.max_line_bytes = 64;
+  Harness harness(registry_, config);
+  Client& client = harness.client();
+  client.send(std::string(1000, 'x') + "\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=too-large"));
+  EXPECT_TRUE(client.at_eof());
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+TEST(ServeListener, UnixSocketEndToEnd) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  registry.add("subj1", trained_classifier(22));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_test.sock";
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  const std::vector<hd::Trial> trials = query_trials();
+  const std::vector<hd::AmDecision> offline =
+      registry.resolve("subj1").classifier.predict_batch(trials);
+  {
+    Client client(connect_unix(config.unix_path));
+    client.send(format_classify_request("subj1", trials));
+    EXPECT_EQ(client.read_line(), "ok classify model=subj1 results=3");
+    for (const hd::AmDecision& expected : offline) {
+      const hd::AmDecision served = parse_result_line(client.read_line());
+      EXPECT_EQ(served.label, expected.label);
+      EXPECT_EQ(served.distances, expected.distances);
+    }
+  }
+  // A second, concurrent pair of clients: connections are independent.
+  {
+    Client a(connect_unix(config.unix_path));
+    Client b(connect_unix(config.unix_path));
+    a.send("phd1 ping\n");
+    b.send("phd1 ping\n");
+    EXPECT_EQ(a.read_line(), "ok pong");
+    EXPECT_EQ(b.read_line(), "ok pong");
+  }
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, LoopbackTcpEndToEnd) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.tcp_enabled = true;
+  config.tcp_port = 0;  // ephemeral
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  ASSERT_GT(server.tcp_port(), 0);
+  std::thread accept_thread([&server] { server.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.tcp_port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  Client client(fd);
+  client.send("phd1 ping\n");
+  EXPECT_EQ(client.read_line(), "ok pong");
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, StopShutsDownIdleConnections) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_stop.sock";
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+  Client client(connect_unix(config.unix_path));
+  client.send("phd1 ping\n");
+  EXPECT_EQ(client.read_line(), "ok pong");
+  // stop() must unblock the connection thread parked in read().
+  server.stop();
+  accept_thread.join();
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(ServeListener, RefusesToStartWithoutAnyListener) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ClassifyServer server(registry, ServeConfig{});
+  EXPECT_THROW(server.bind_and_listen(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pulphd::serve

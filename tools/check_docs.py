@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Keeps the docs/ tree honest. Three checks, stdlib only:
+
+1. Every relative markdown link in README.md and docs/*.md resolves to a
+   real file.
+2. With --cli PATH: the output of `pulphd_cli --help` and
+   `pulphd_cli serve --help` appears verbatim in docs/cli.md, so the doc
+   and the binary cannot drift apart.
+3. The protocol spec (docs/protocol.md) is in lockstep with the parser
+   header (src/serve/protocol.hpp): the version token, every error-code
+   token, and the numeric request limits (kMaxTrialsPerRequest,
+   kMaxSamplesPerTrial, kMaxLineBytes) defined in the header appear in
+   the doc.
+
+Exit code 0 = all good; 1 = findings (printed one per line).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ERR_TOKEN_RE = re.compile(r'kErr\w+\s*=\s*"([a-z-]+)"')
+VERSION_TOKEN_RE = re.compile(r'kProtocolVersionToken\s*=\s*"(\w+)"')
+LIMIT_RE = re.compile(r"(kMaxTrialsPerRequest|kMaxSamplesPerTrial)\s*=\s*(\d+)")
+LINE_LIMIT_RE = re.compile(r"kMaxLineBytes\s*=\s*1\s*<<\s*(\d+)")
+
+
+def doc_files():
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_links():
+    problems = []
+    for doc in doc_files():
+        for target in LINK_RE.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+    return problems
+
+
+def help_output(cli, args):
+    result = subprocess.run([cli, *args], capture_output=True, text=True, check=False)
+    if result.returncode != 0:
+        return None, f"`{cli} {' '.join(args)}` exited {result.returncode} (want 0)"
+    return result.stdout, None
+
+
+def check_cli_help(cli):
+    problems = []
+    cli_doc = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
+    for args in (["--help"], ["serve", "--help"]):
+        output, error = help_output(cli, args)
+        if error:
+            problems.append(error)
+            continue
+        if output not in cli_doc:
+            problems.append(
+                f"docs/cli.md is out of sync with `pulphd_cli {' '.join(args)}`: "
+                "the help output must appear verbatim in the doc"
+            )
+    return problems
+
+
+def check_protocol_lockstep():
+    problems = []
+    header = (REPO / "src" / "serve" / "protocol.hpp").read_text(encoding="utf-8")
+    spec = (REPO / "docs" / "protocol.md").read_text(encoding="utf-8")
+    version = VERSION_TOKEN_RE.search(header)
+    if not version:
+        problems.append("src/serve/protocol.hpp: kProtocolVersionToken not found")
+    elif f"`{version.group(1)}`" not in spec:
+        problems.append(f"docs/protocol.md never names the version token `{version.group(1)}`")
+    codes = ERR_TOKEN_RE.findall(header)
+    if not codes:
+        problems.append("src/serve/protocol.hpp: no kErr* tokens found")
+    for code in codes:
+        if f"`{code}`" not in spec:
+            problems.append(f"docs/protocol.md is missing error code `{code}`")
+    limits = LIMIT_RE.findall(header)
+    if len(limits) != 2:
+        problems.append("src/serve/protocol.hpp: expected kMaxTrialsPerRequest and "
+                        "kMaxSamplesPerTrial as decimal literals")
+    for name, value in limits:
+        if value not in spec:
+            problems.append(f"docs/protocol.md never states the {name} limit ({value})")
+    line_limit = LINE_LIMIT_RE.search(header)
+    if not line_limit:
+        problems.append("src/serve/protocol.hpp: kMaxLineBytes (1 << N) not found")
+    else:
+        mib = (1 << int(line_limit.group(1))) >> 20
+        if f"{mib} MiB" not in spec:
+            problems.append(f"docs/protocol.md never states the line limit ({mib} MiB)")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", help="path to a built pulphd_cli for the help-sync check")
+    options = parser.parse_args()
+    problems = check_links() + check_protocol_lockstep()
+    if options.cli:
+        problems += check_cli_help(options.cli)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    checked = "links + protocol lockstep" + (" + CLI help sync" if options.cli else "")
+    print(f"docs OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

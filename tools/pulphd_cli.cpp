@@ -1,60 +1,128 @@
-// pulphd — command-line front-end for the library.
+// pulphd_cli — command-line front-end for the library.
 //
-//   pulphd train <model.phd> [--dim D] [--subject S] [--seed X]
-//       Generates the synthetic EMG dataset, trains one subject's HD model
-//       under the paper's protocol and saves it.
-//
-//   pulphd info <model.phd>
-//       Prints the model's configuration and memory footprint.
-//
-//   pulphd eval <model.phd> [--subject S]
-//       Re-evaluates the saved model on its subject's test split.
-//
-//   pulphd price <model.phd>
-//       Prices one classification on every platform of the paper (cycles,
-//       frequency for 10 ms latency, power).
+// Subcommands: train, info, eval, price, serve. Every command answers
+// `--help`; the full reference (flags, defaults, the PULPHD_BACKEND
+// environment variable and the serve wire protocol) lives in docs/cli.md,
+// which CI keeps in lockstep with the help text below (tools/check_docs.py
+// asserts the --help output appears verbatim in the doc).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "emg/protocol.hpp"
 #include "hd/serialization.hpp"
 #include "kernels/chain.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
 #include "sim/power.hpp"
 
 namespace {
 
 using namespace pulphd;
 
+// --- Help text (verbatim in docs/cli.md; keep the two in sync) -----------
+
+const char kTopLevelHelp[] =
+    "pulphd_cli — PULP-HD command-line interface\n"
+    "\n"
+    "usage: pulphd_cli <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  train <model.phd> [--dim D] [--subject S] [--seed X] [--threads T]\n"
+    "        [--name NAME]\n"
+    "      Generate the synthetic EMG dataset, train one subject's HD model\n"
+    "      under the paper's protocol and save it, optionally embedding a\n"
+    "      model name for multi-model serving.\n"
+    "  info <model.phd>\n"
+    "      Print the model's configuration and memory footprint.\n"
+    "  eval <model.phd> [--subject S] [--seed X] [--threads T]\n"
+    "      Re-evaluate the saved model on its subject's test split.\n"
+    "  price <model.phd>\n"
+    "      Price one classification on every platform of the paper (cycles,\n"
+    "      frequency for 10 ms latency, power).\n"
+    "  serve --model [NAME=]PATH [--model ...] (--socket PATH | --tcp PORT)\n"
+    "        [--default NAME] [--threads T]\n"
+    "      Long-lived multi-model classification daemon; see\n"
+    "      `pulphd_cli serve --help`.\n"
+    "\n"
+    "common flags:\n"
+    "  --threads T   host threads for batch encoding/classification\n"
+    "                (1 = serial, 0 = one per hardware thread; results are\n"
+    "                bit-identical for any value)\n"
+    "\n"
+    "environment:\n"
+    "  PULPHD_BACKEND   force the SIMD kernel backend (portable|avx2|neon);\n"
+    "                   unset picks the widest backend the CPU supports\n"
+    "\n"
+    "`pulphd_cli <command> --help` prints that command's usage; commands\n"
+    "exit 2 on a usage error.\n";
+
+const char kServeHelp[] =
+    "usage: pulphd_cli serve --model [NAME=]PATH [--model [NAME=]PATH ...]\n"
+    "                        (--socket PATH | --tcp PORT) [--default NAME]\n"
+    "                        [--threads T]\n"
+    "\n"
+    "Long-lived classification daemon: loads every --model once at startup,\n"
+    "then answers phd1 wire-protocol requests (docs/protocol.md) until\n"
+    "SIGINT/SIGTERM. Requests are routed by their model= field; requests\n"
+    "naming no model go to the default model.\n"
+    "\n"
+    "flags:\n"
+    "  --model [NAME=]PATH  register the serialized model at PATH under NAME\n"
+    "                       (repeatable; NAME may be omitted when the file\n"
+    "                       embeds a name — `train --name` writes one)\n"
+    "  --socket PATH        listen on a Unix-domain socket at PATH (created\n"
+    "                       at startup, removed on shutdown)\n"
+    "  --tcp PORT           also/instead listen on TCP 127.0.0.1:PORT\n"
+    "                       (loopback only; 0 picks an ephemeral port,\n"
+    "                       printed on startup)\n"
+    "  --default NAME       model answering requests that name no model\n"
+    "                       (default: the first --model)\n"
+    "  --threads T          host threads used per request for batch\n"
+    "                       encoding/classification (1 = serial, 0 = one\n"
+    "                       per hardware thread)\n";
+
+[[noreturn]] void usage_error(const char* help) {
+  std::fputs(help, stderr);
+  std::exit(2);
+}
+
+bool is_help_flag(const char* arg) {
+  return std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0;
+}
+
+// --- train / info / eval / price ------------------------------------------
+
 struct Options {
   std::string command;
   std::string model_path;
+  std::string model_name;  ///< train --name: embedded in the saved file
   std::size_t dim = 10000;
   std::size_t subject = 0;
   std::size_t threads = 1;  ///< host threads for batch encode/classify (0 = auto)
   std::uint64_t seed = emg::GeneratorConfig{}.seed;
 };
 
-[[noreturn]] void usage() {
-  std::fputs(
-      "usage: pulphd <train|info|eval|price> <model.phd> "
-      "[--dim D] [--subject S] [--seed X] [--threads T]\n"
-      "  --threads T   host threads for batch encoding/classification\n"
-      "                (1 = serial, 0 = one per hardware thread; results\n"
-      "                are bit-identical for any value)\n",
-      stderr);
-  std::exit(2);
-}
-
-Options parse(int argc, char** argv) {
-  if (argc < 3) usage();
+Options parse_model_command(int argc, char** argv) {
   Options opt;
   opt.command = argv[1];
+  if (argc < 3) usage_error(kTopLevelHelp);
+  if (is_help_flag(argv[2])) {
+    std::fputs(kTopLevelHelp, stdout);
+    std::exit(0);
+  }
   opt.model_path = argv[2];
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (i + 1 >= argc) usage();
+    if (is_help_flag(flag.c_str())) {
+      std::fputs(kTopLevelHelp, stdout);
+      std::exit(0);
+    }
+    if (i + 1 >= argc) usage_error(kTopLevelHelp);
     const char* value = argv[++i];
     if (flag == "--dim") {
       opt.dim = std::strtoull(value, nullptr, 10);
@@ -64,8 +132,10 @@ Options parse(int argc, char** argv) {
       opt.seed = std::strtoull(value, nullptr, 0);
     } else if (flag == "--threads") {
       opt.threads = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--name" && opt.command == "train") {
+      opt.model_name = value;
     } else {
-      usage();
+      usage_error(kTopLevelHelp);
     }
   }
   return opt;
@@ -85,8 +155,12 @@ int cmd_train(const Options& opt) {
   emg::ProtocolConfig protocol;
   protocol.threads = opt.threads;
   const hd::HdClassifier clf = emg::train_hd_subject(ds, opt.subject, opt.dim, protocol);
-  hd::save_model_file(clf, opt.model_path);
-  std::printf("saved %s\n", opt.model_path.c_str());
+  hd::save_model_file(clf, opt.model_path, opt.model_name);
+  if (opt.model_name.empty()) {
+    std::printf("saved %s\n", opt.model_path.c_str());
+  } else {
+    std::printf("saved %s (model name \"%s\")\n", opt.model_path.c_str(), opt.model_name.c_str());
+  }
   return 0;
 }
 
@@ -96,6 +170,7 @@ int cmd_info(const Options& opt) {
   const hd::ModelFootprint fp = clf.footprint();
   TextTable t("Model " + opt.model_path);
   t.set_header({"field", "value"});
+  if (!model.name.empty()) t.add_row({"name", model.name});
   t.add_row({"dimension", std::to_string(model.config.dim)});
   t.add_row({"packed words / hypervector", std::to_string(words_for_dim(model.config.dim))});
   t.add_row({"channels", std::to_string(model.config.channels)});
@@ -177,16 +252,119 @@ int cmd_price(const Options& opt) {
   return 0;
 }
 
+// --- serve ----------------------------------------------------------------
+
+struct ServeOptions {
+  std::vector<std::pair<std::string, std::string>> models;  // {name ("" = embedded), path}
+  std::string default_model;
+  serve::ServeConfig config;
+  std::size_t threads = 1;
+};
+
+ServeOptions parse_serve(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (is_help_flag(flag.c_str())) {
+      std::fputs(kServeHelp, stdout);
+      std::exit(0);
+    }
+    if (i + 1 >= argc) usage_error(kServeHelp);
+    const std::string value = argv[++i];
+    if (flag == "--model") {
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos) {
+        opt.models.emplace_back("", value);
+      } else {
+        opt.models.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+      }
+    } else if (flag == "--socket") {
+      opt.config.unix_path = value;
+    } else if (flag == "--tcp") {
+      // Strict parse: a typo'd port must not fall through to 0, which is
+      // the "pick an ephemeral port" sentinel.
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || port > 65535) {
+        usage_error(kServeHelp);
+      }
+      opt.config.tcp_enabled = true;
+      opt.config.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--default") {
+      opt.default_model = value;
+    } else if (flag == "--threads") {
+      opt.threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      usage_error(kServeHelp);
+    }
+  }
+  if (opt.models.empty()) usage_error(kServeHelp);
+  if (opt.config.unix_path.empty() && !opt.config.tcp_enabled) usage_error(kServeHelp);
+  return opt;
+}
+
+// Atomic: the kernel may deliver SIGINT/SIGTERM on any thread (including a
+// connection thread), racing the main thread's reset after run() returns.
+std::atomic<serve::ClassifyServer*> g_server{nullptr};
+
+void handle_shutdown_signal(int) {
+  if (auto* server = g_server.load()) server->stop();  // async-signal-safe (self-pipe write)
+}
+
+int cmd_serve(int argc, char** argv) {
+  const ServeOptions opt = parse_serve(argc, argv);
+  serve::ModelRegistry registry;
+  for (const auto& [name, path] : opt.models) {
+    registry.load_file(name, path, opt.threads);
+    const auto& entry = *registry.entries().back();
+    const hd::ClassifierConfig& cfg = entry.classifier.config();
+    std::printf("loaded model \"%s\" from %s (dim %zu, %zu channels, %zu classes)\n",
+                entry.name.c_str(), path.c_str(), cfg.dim, cfg.channels, cfg.classes);
+  }
+  if (!opt.default_model.empty()) registry.set_default(opt.default_model);
+  std::printf("default model: %s\n", registry.default_name().c_str());
+
+  serve::ClassifyServer server(registry, opt.config);
+  server.bind_and_listen();
+  if (!opt.config.unix_path.empty()) {
+    std::printf("listening on unix socket %s\n", opt.config.unix_path.c_str());
+  }
+  if (opt.config.tcp_enabled) {
+    std::printf("listening on tcp 127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::fflush(stdout);
+
+  g_server.store(&server);
+  struct sigaction sa{};
+  sa.sa_handler = handle_shutdown_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  server.run();
+  g_server.store(nullptr);
+  std::printf("shut down\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const Options opt = parse(argc, argv);
-    if (opt.command == "train") return cmd_train(opt);
-    if (opt.command == "info") return cmd_info(opt);
-    if (opt.command == "eval") return cmd_eval(opt);
-    if (opt.command == "price") return cmd_price(opt);
-    usage();
+    if (argc < 2) usage_error(kTopLevelHelp);
+    const std::string command = argv[1];
+    if (is_help_flag(command.c_str())) {
+      std::fputs(kTopLevelHelp, stdout);
+      return 0;
+    }
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "train" || command == "info" || command == "eval" || command == "price") {
+      const Options opt = parse_model_command(argc, argv);
+      if (command == "train") return cmd_train(opt);
+      if (command == "info") return cmd_info(opt);
+      if (command == "eval") return cmd_eval(opt);
+      return cmd_price(opt);
+    }
+    usage_error(kTopLevelHelp);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pulphd: %s\n", e.what());
     return 1;

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# End-to-end serve smoke: train two named per-subject models, start
+# `pulphd_cli serve` on a Unix socket, drive it with a scripted python3
+# client (models + routed classify + default-route classify + quit),
+# then shut it down with SIGINT and check the exit was clean. Used by
+# the CI docs job; runs anywhere with bash + python3.
+set -euo pipefail
+
+CLI=${1:?usage: serve_smoke.sh path/to/pulphd_cli}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CLI" train "$WORK/s0.phd" --subject 0 --dim 2048 --name subj0 > /dev/null
+"$CLI" train "$WORK/s1.phd" --subject 1 --dim 2048 --name subj1 > /dev/null
+
+"$CLI" serve --model "$WORK/s0.phd" --model "$WORK/s1.phd" \
+  --socket "$WORK/phd.sock" > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$WORK/phd.sock" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -S "$WORK/phd.sock" ] || { echo "socket never appeared"; cat "$WORK/serve.log"; exit 1; }
+
+python3 - "$WORK/phd.sock" > "$WORK/out.txt" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(
+    b"phd1 models\n"
+    b"phd1 classify model=subj1 trials=1\n"
+    b"trial samples=3\n"
+    b"1 2 3 4\n2 3 4 5\n3 4 5 6\n"
+    b"phd1 classify trials=1\n"
+    b"trial samples=1\n"
+    b"1 2 3 4\n"
+    b"phd1 quit\n")
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())
+EOF
+
+grep -q "^ok models count=2$" "$WORK/out.txt"
+grep -q "^model name=subj0 .* default=1$" "$WORK/out.txt"
+grep -q "^ok classify model=subj1 results=1$" "$WORK/out.txt"
+grep -q "^ok classify model=subj0 results=1$" "$WORK/out.txt"   # default route
+grep -q "^result label=" "$WORK/out.txt"
+grep -q "^ok bye$" "$WORK/out.txt"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "shut down" "$WORK/serve.log"
+[ ! -S "$WORK/phd.sock" ]   # socket path unlinked on shutdown
+
+echo "serve smoke OK"
