@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include "common/status.hpp"
 #include "hd/serialization.hpp"
@@ -69,6 +71,170 @@ void append_float(std::string& out, float value) {
   // %.9g round-trips binary32 exactly (9 significant decimal digits).
   std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
   out += buf;
+}
+
+// --- phd2 little-endian primitives ----------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_f32(std::string& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+/// Sequential reader over one frame payload; every read checks bounds and
+/// fails with the given error code, so a truncated body can never read
+/// out of the frame.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint8_t u8(std::string_view what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16(std::string_view what) {
+    need(2, what);
+    std::uint16_t v = 0;
+    for (int i = 1; i >= 0; --i) {
+      v = static_cast<std::uint16_t>((v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32(std::string_view what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  float f32(std::string_view what) {
+    const std::uint32_t bits = u32(what);
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string_view bytes(std::size_t count, std::string_view what) {
+    need(count, what);
+    const std::string_view view = data_.substr(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  void expect_exhausted(std::string_view what) {
+    if (remaining() != 0) {
+      fail(kErrBadRequest, std::string(what) + " frame has " + std::to_string(remaining()) +
+                               " trailing byte(s) past its declared content");
+    }
+  }
+
+ private:
+  void need(std::size_t count, std::string_view what) {
+    if (remaining() < count) {
+      fail(kErrBadRequest,
+           "frame truncated inside " + std::string(what) + " (need " + std::to_string(count) +
+               " more byte(s), have " + std::to_string(remaining()) + ")");
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps a finished payload in the u32 length prefix.
+std::string frame(std::string payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+Request decode_classify_payload(PayloadReader& reader) {
+  ClassifyRequest request;
+  const std::uint8_t name_len = reader.u8("classify model-name length");
+  request.model = std::string(reader.bytes(name_len, "classify model name"));
+  if (name_len > 0 && !hd::is_valid_model_name(request.model)) {
+    fail(kErrBadRequest, "invalid model name \"" + request.model + "\"");
+  }
+  const std::uint32_t trials = reader.u32("classify trial count");
+  if (trials == 0) fail(kErrBadRequest, "classify needs trials >= 1");
+  if (trials > kMaxTrialsPerRequest) {
+    fail(kErrTooLarge, "trials=" + std::to_string(trials) + " exceeds the per-request limit of " +
+                           std::to_string(kMaxTrialsPerRequest));
+  }
+  request.trials.reserve(trials);
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const std::uint32_t samples = reader.u32("trial sample count");
+    const std::uint16_t channels = reader.u16("trial channel count");
+    if (samples == 0) fail(kErrBadRequest, "a trial needs samples >= 1");
+    if (samples > kMaxSamplesPerTrial) {
+      fail(kErrTooLarge, "samples=" + std::to_string(samples) +
+                             " exceeds the per-trial limit of " +
+                             std::to_string(kMaxSamplesPerTrial));
+    }
+    if (channels == 0) fail(kErrBadRequest, "a trial needs channels >= 1");
+    hd::Trial trial;
+    trial.reserve(samples);
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      hd::Sample sample;
+      sample.reserve(channels);
+      for (std::uint16_t c = 0; c < channels; ++c) {
+        const float value = reader.f32("trial samples");
+        if (!std::isfinite(value)) {
+          fail(kErrBadRequest, "non-finite sample value in trial " + std::to_string(t));
+        }
+        sample.push_back(value);
+      }
+      trial.push_back(std::move(sample));
+    }
+    request.trials.push_back(std::move(trial));
+  }
+  reader.expect_exhausted("classify");
+  return Request{std::move(request)};
+}
+
+Request decode_request_payload(std::string_view payload) {
+  if (payload.empty()) fail(kErrBadRequest, "empty frame (no type byte)");
+  PayloadReader reader(payload);
+  const std::uint8_t type = reader.u8("frame type");
+  switch (type) {
+    case kFramePing:
+      reader.expect_exhausted("ping");
+      return Request{PingRequest{}};
+    case kFrameModels:
+      reader.expect_exhausted("models");
+      return Request{ModelsRequest{}};
+    case kFrameQuit:
+      reader.expect_exhausted("quit");
+      return Request{QuitRequest{}};
+    case kFrameClassify:
+      return decode_classify_payload(reader);
+    default:
+      fail(kErrBadRequest,
+           "unknown request frame type " + std::to_string(static_cast<unsigned>(type)));
+  }
 }
 
 }  // namespace
@@ -257,6 +423,293 @@ hd::AmDecision parse_result_line(std::string_view line) {
     fail(kErrBadRequest, "unexpected trailing fields on a result line");
   }
   return decision;
+}
+
+// --- phd2 binary framing ---------------------------------------------------
+
+std::optional<Request> BinaryRequestParser::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  PayloadReader prefix(buffer_);
+  const std::uint32_t length = prefix.u32("frame length");
+  if (length > max_frame_bytes_) {
+    // The length prefix itself is the framing: once it exceeds the limit
+    // the stream can no longer be delimited, so the connection must go.
+    framing_lost_ = true;
+    const std::string message = "frame declares " + std::to_string(length) +
+                                " payload bytes, limit is " + std::to_string(max_frame_bytes_);
+    buffer_.clear();
+    fail(kErrTooLarge, message);
+  }
+  if (buffer_.size() < 4u + length) return std::nullopt;
+  const std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4u + length);
+  framing_lost_ = false;
+  // Any decode failure below happened inside a fully delimited frame: the
+  // frame is already consumed, so the connection stays frameable.
+  return decode_request_payload(payload);
+}
+
+std::string ResponseEncoder::pong() const {
+  if (wire_ == Wire::kText) return format_pong();
+  std::string payload;
+  put_u8(payload, kFramePong);
+  return frame(std::move(payload));
+}
+
+std::string ResponseEncoder::bye() const {
+  if (wire_ == Wire::kText) return format_bye();
+  std::string payload;
+  put_u8(payload, kFrameBye);
+  return frame(std::move(payload));
+}
+
+std::string ResponseEncoder::models(std::span<const ModelInfo> models) const {
+  if (wire_ == Wire::kText) return format_models_response(models);
+  std::string payload;
+  put_u8(payload, kFrameModelList);
+  put_u32(payload, static_cast<std::uint32_t>(models.size()));
+  for (const ModelInfo& m : models) {
+    put_u8(payload, static_cast<std::uint8_t>(m.name.size()));
+    payload += m.name;
+    put_u32(payload, static_cast<std::uint32_t>(m.dim));
+    put_u32(payload, static_cast<std::uint32_t>(m.channels));
+    put_u32(payload, static_cast<std::uint32_t>(m.classes));
+    put_u32(payload, static_cast<std::uint32_t>(m.ngram));
+    put_u8(payload, m.is_default ? 1 : 0);
+  }
+  return frame(std::move(payload));
+}
+
+std::string ResponseEncoder::classify(const std::string& model,
+                                      std::span<const hd::AmDecision> decisions) const {
+  if (wire_ == Wire::kText) return format_classify_response(model, decisions);
+  std::string payload;
+  put_u8(payload, kFrameResults);
+  put_u8(payload, static_cast<std::uint8_t>(model.size()));
+  payload += model;
+  put_u32(payload, static_cast<std::uint32_t>(decisions.size()));
+  for (const hd::AmDecision& d : decisions) {
+    put_u32(payload, static_cast<std::uint32_t>(d.label));
+    put_u32(payload, static_cast<std::uint32_t>(d.distance));
+    put_u32(payload, static_cast<std::uint32_t>(d.distances.size()));
+    for (const std::size_t distance : d.distances) {
+      put_u32(payload, static_cast<std::uint32_t>(distance));
+    }
+  }
+  return frame(std::move(payload));
+}
+
+std::string ResponseEncoder::error(std::string_view code, std::string_view message,
+                                   bool fatal) const {
+  if (wire_ == Wire::kText) return format_error(code, message);
+  std::string payload;
+  put_u8(payload, kFrameError);
+  put_u8(payload, static_cast<std::uint8_t>(code.size()));
+  payload += code;
+  const std::size_t msg_len =
+      std::min<std::size_t>(message.size(), std::numeric_limits<std::uint16_t>::max());
+  put_u16(payload, static_cast<std::uint16_t>(msg_len));
+  payload.append(message.data(), msg_len);
+  put_u8(payload, fatal ? 1 : 0);
+  return frame(std::move(payload));
+}
+
+std::string format_binary_command(std::uint8_t type) {
+  std::string payload;
+  put_u8(payload, type);
+  return frame(std::move(payload));
+}
+
+std::string format_binary_classify_request(const std::string& model,
+                                           std::span<const hd::Trial> trials) {
+  std::string payload;
+  put_u8(payload, kFrameClassify);
+  put_u8(payload, static_cast<std::uint8_t>(model.size()));
+  payload += model;
+  put_u32(payload, static_cast<std::uint32_t>(trials.size()));
+  for (const hd::Trial& trial : trials) {
+    put_u32(payload, static_cast<std::uint32_t>(trial.size()));
+    const std::size_t channels = trial.empty() ? 0 : trial.front().size();
+    put_u16(payload, static_cast<std::uint16_t>(channels));
+    for (const hd::Sample& sample : trial) {
+      for (const float value : sample) put_f32(payload, value);
+    }
+  }
+  return frame(std::move(payload));
+}
+
+std::optional<BinaryResponse> BinaryResponseParser::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  PayloadReader prefix(buffer_);
+  const std::uint32_t length = prefix.u32("frame length");
+  if (length > kMaxFrameBytes) fail(kErrBadRequest, "response frame over the frame limit");
+  if (buffer_.size() < 4u + length) return std::nullopt;
+  const std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4u + length);
+
+  PayloadReader reader(payload);
+  BinaryResponse response;
+  response.type = reader.u8("response type");
+  switch (response.type) {
+    case kFramePong:
+    case kFrameBye:
+      break;
+    case kFrameModelList: {
+      const std::uint32_t count = reader.u32("model count");
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ModelInfo info;
+        info.name = std::string(reader.bytes(reader.u8("model name length"), "model name"));
+        info.dim = reader.u32("model dim");
+        info.channels = reader.u32("model channels");
+        info.classes = reader.u32("model classes");
+        info.ngram = reader.u32("model ngram");
+        info.is_default = reader.u8("model default flag") != 0;
+        response.models.push_back(std::move(info));
+      }
+      break;
+    }
+    case kFrameResults: {
+      response.model =
+          std::string(reader.bytes(reader.u8("result model-name length"), "result model name"));
+      const std::uint32_t results = reader.u32("result count");
+      for (std::uint32_t i = 0; i < results; ++i) {
+        hd::AmDecision decision;
+        decision.label = reader.u32("result label");
+        decision.distance = reader.u32("result distance");
+        const std::uint32_t classes = reader.u32("result class count");
+        decision.distances.reserve(classes);
+        for (std::uint32_t c = 0; c < classes; ++c) {
+          decision.distances.push_back(reader.u32("result distances"));
+        }
+        response.decisions.push_back(std::move(decision));
+      }
+      break;
+    }
+    case kFrameError: {
+      response.error_code =
+          std::string(reader.bytes(reader.u8("error code length"), "error code"));
+      response.error_message =
+          std::string(reader.bytes(reader.u16("error message length"), "error message"));
+      response.fatal = reader.u8("error fatal flag") != 0;
+      break;
+    }
+    default:
+      fail(kErrBadRequest,
+           "unknown response frame type " + std::to_string(static_cast<unsigned>(response.type)));
+  }
+  reader.expect_exhausted("response");
+  return response;
+}
+
+// --- Connection session: negotiation + unified framing ---------------------
+
+ConnectionSession::ConnectionSession() : ConnectionSession(Limits{}) {}
+
+ConnectionSession::ConnectionSession(Limits limits)
+    : limits_(limits), binary_(limits.max_frame_bytes) {}
+
+bool ConnectionSession::mid_request() const noexcept {
+  switch (mode_) {
+    case Mode::kNegotiating:
+      return !line_buffer_.empty();
+    case Mode::kText:
+      return !line_buffer_.empty() || !text_.idle();
+    case Mode::kBinary:
+      return !binary_.idle();
+    case Mode::kDead:
+      return false;
+  }
+  return false;
+}
+
+std::vector<WireEvent> ConnectionSession::consume(std::string_view bytes) {
+  std::vector<WireEvent> events;
+  if (mode_ == Mode::kDead) return events;
+  if (mode_ == Mode::kNegotiating) {
+    line_buffer_.append(bytes.data(), bytes.size());
+    const std::size_t probe = std::min(line_buffer_.size(), kBinaryMagic.size());
+    if (std::string_view(line_buffer_).substr(0, probe) != kBinaryMagic.substr(0, probe)) {
+      // Not (a prefix of) the magic: a text connection. No valid phd1 line
+      // starts with 'P', so this cannot misfire on real text traffic.
+      mode_ = Mode::kText;
+      const std::string pending = std::move(line_buffer_);
+      line_buffer_.clear();
+      consume_text(pending, events);
+    } else if (line_buffer_.size() >= kBinaryMagic.size()) {
+      mode_ = Mode::kBinary;
+      const std::string pending = line_buffer_.substr(kBinaryMagic.size());
+      line_buffer_.clear();
+      consume_binary(pending, events);
+    }
+    // else: a strict prefix of the magic — wait for more bytes.
+    return events;
+  }
+  if (mode_ == Mode::kText) {
+    consume_text(bytes, events);
+  } else {
+    consume_binary(bytes, events);
+  }
+  return events;
+}
+
+void ConnectionSession::consume_text(std::string_view bytes, std::vector<WireEvent>& events) {
+  line_buffer_.append(bytes.data(), bytes.size());
+  std::size_t start = 0;
+  while (mode_ == Mode::kText) {
+    const std::size_t newline = line_buffer_.find('\n', start);
+    if (newline == std::string::npos) {
+      line_buffer_.erase(0, start);
+      if (line_buffer_.size() > limits_.max_line_bytes) {
+        // An unterminated line already over the limit: framing is lost.
+        mode_ = Mode::kDead;
+        events.push_back({std::nullopt,
+                          format_error(kErrTooLarge, "line exceeds " +
+                                                         std::to_string(limits_.max_line_bytes) +
+                                                         " bytes"),
+                          true});
+      }
+      return;
+    }
+    if (newline - start > limits_.max_line_bytes) {
+      mode_ = Mode::kDead;
+      events.push_back({std::nullopt,
+                        format_error(kErrTooLarge, "line exceeds " +
+                                                       std::to_string(limits_.max_line_bytes) +
+                                                       " bytes"),
+                        true});
+      return;
+    }
+    const std::string_view line(line_buffer_.data() + start, newline - start);
+    try {
+      if (auto request = text_.consume_line(line)) {
+        events.push_back({std::move(request), {}, false});
+      }
+    } catch (const CodedError& e) {
+      const bool drop = text_.framing_lost();
+      if (drop) mode_ = Mode::kDead;
+      events.push_back({std::nullopt, format_error(e.code(), e.what()), drop});
+      if (drop) return;
+    }
+    start = newline + 1;
+  }
+  line_buffer_.erase(0, start);
+}
+
+void ConnectionSession::consume_binary(std::string_view bytes, std::vector<WireEvent>& events) {
+  binary_.feed(bytes);
+  while (true) {
+    try {
+      auto request = binary_.next();
+      if (!request.has_value()) return;
+      events.push_back({std::move(request), {}, false});
+    } catch (const CodedError& e) {
+      const bool drop = binary_.framing_lost();
+      if (drop) mode_ = Mode::kDead;
+      events.push_back(
+          {std::nullopt, ResponseEncoder(Wire::kBinary).error(e.code(), e.what(), drop), drop});
+      if (drop) return;
+    }
+  }
 }
 
 }  // namespace pulphd::serve

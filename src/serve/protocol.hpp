@@ -1,10 +1,19 @@
-// The pulphd serve wire protocol, version 1 ("phd1").
+// The pulphd serve wire protocols: "phd1" (text) and "phd2" (binary).
 //
-// A line-delimited text protocol so any scripting tool (`nc`, a shell
-// heredoc, a Python socket) can drive a model server without bindings.
+// phd1 is a line-delimited text protocol so any scripting tool (`nc`, a
+// shell heredoc, a Python socket) can drive a model server without
+// bindings. phd2 is a length-prefixed binary framing of the same requests
+// and responses for bulk traffic: trial samples travel as raw float32
+// bits, so the float-format/parse cost that dominates bulk phd1 classifies
+// disappears and round-tripping is trivially bit-exact. Both are spoken on
+// the same listener: a connection whose first four bytes are the magic
+// "PHD2" is binary for its lifetime, anything else is text (every text
+// request starts with "phd1", so the sniff is unambiguous).
+//
 // This header is the single normative implementation; the prose
 // specification lives in docs/protocol.md and MUST be updated in lockstep
-// with the grammar below (CI's docs job cross-checks the version token and
+// with the grammar below (CI's docs job cross-checks the version token,
+// the binary magic/frame-type constants, the numeric limits and the
 // error-code tokens between the two).
 //
 // Grammar (one request per line group; lines end in LF, a trailing CR is
@@ -41,6 +50,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -54,8 +64,19 @@
 
 namespace pulphd::serve {
 
-/// First token of every request line group; bump for incompatible changes.
+/// First token of every text request line group; bump for incompatible
+/// changes.
 inline constexpr std::string_view kProtocolVersionToken = "phd1";
+
+/// Name of the binary protocol revision (documentation and error messages;
+/// the wire itself negotiates with kBinaryMagic).
+inline constexpr std::string_view kBinaryProtocolName = "phd2";
+
+/// Connection preamble selecting the binary protocol: a client sends these
+/// four bytes immediately after connect, before its first frame. Uppercase
+/// on purpose — no valid phd1 text line starts with 'P', so the listener
+/// can sniff the mode from the first bytes alone.
+inline constexpr std::string_view kBinaryMagic = "PHD2";
 
 /// Hard per-request limits, enforced by the parser before any allocation
 /// sized from the wire. A classify of kMaxTrialsPerRequest trials of
@@ -67,12 +88,30 @@ inline constexpr std::size_t kMaxSamplesPerTrial = 65536;
 /// (the server replies `too-large` and closes, since framing is lost).
 inline constexpr std::size_t kMaxLineBytes = 1 << 20;
 
+/// Binary framing bound: the declared payload length of one phd2 frame.
+/// A frame declaring more loses framing (the length can no longer be
+/// trusted), so the server answers a fatal `too-large` and closes.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 24;
+
+/// phd2 frame-type bytes (payload[0]). Requests are < 0x80, responses
+/// >= 0x80; kFrameError is deliberately far from both ranges.
+inline constexpr std::uint8_t kFramePing = 0x01;
+inline constexpr std::uint8_t kFrameModels = 0x02;
+inline constexpr std::uint8_t kFrameQuit = 0x03;
+inline constexpr std::uint8_t kFrameClassify = 0x04;
+inline constexpr std::uint8_t kFramePong = 0x81;
+inline constexpr std::uint8_t kFrameBye = 0x82;
+inline constexpr std::uint8_t kFrameModelList = 0x83;
+inline constexpr std::uint8_t kFrameResults = 0x84;
+inline constexpr std::uint8_t kFrameError = 0xEE;
+
 /// Stable error-code tokens (see the header comment and docs/protocol.md).
 inline constexpr std::string_view kErrBadRequest = "bad-request";
 inline constexpr std::string_view kErrUnsupportedVersion = "unsupported-version";
 inline constexpr std::string_view kErrTooLarge = "too-large";
 inline constexpr std::string_view kErrUnknownModel = "unknown-model";
 inline constexpr std::string_view kErrBadTrial = "bad-trial";
+inline constexpr std::string_view kErrOverloaded = "overloaded";
 inline constexpr std::string_view kErrInternal = "internal";
 
 struct PingRequest {};
@@ -119,6 +158,43 @@ class RequestParser {
   bool framing_lost_ = false;
 };
 
+/// Incremental phd2 (binary) request parser: feed() raw bytes as they
+/// arrive (the 4-byte connection magic already consumed), then pop
+/// completed frames with next(). Decoupled from any socket so protocol
+/// tests cover it without I/O.
+class BinaryRequestParser {
+ public:
+  explicit BinaryRequestParser(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw wire bytes to the internal buffer.
+  void feed(std::string_view bytes) { buffer_.append(bytes.data(), bytes.size()); }
+
+  /// Decodes and consumes one complete frame from the front of the buffer.
+  /// Returns std::nullopt while the length prefix or payload is still
+  /// incomplete. Throws pulphd::CodedError on malformed frames; unlike the
+  /// text protocol, a malformed *payload* never loses framing (the length
+  /// prefix still delimits the frame), so only an over-limit declared
+  /// length sets framing_lost().
+  std::optional<Request> next();
+
+  /// True when no partial frame is buffered (a clean point to see EOF; EOF
+  /// mid-frame means the peer died inside a frame and nothing can be
+  /// answered).
+  bool idle() const noexcept { return buffer_.empty(); }
+
+  /// True when the last next() error made the remaining input
+  /// un-frameable: the declared payload length exceeded the frame limit,
+  /// so the byte stream can no longer be delimited and the caller must
+  /// drop the connection.
+  bool framing_lost() const noexcept { return framing_lost_; }
+
+ private:
+  std::string buffer_;
+  std::size_t max_frame_bytes_;
+  bool framing_lost_ = false;
+};
+
 /// Registry-facing model description used by the `models` response.
 struct ModelInfo {
   std::string name;
@@ -127,6 +203,87 @@ struct ModelInfo {
   std::size_t classes = 0;
   std::size_t ngram = 0;
   bool is_default = false;
+};
+
+/// Which wire encoding a connection negotiated.
+enum class Wire { kText, kBinary };
+
+/// Formats responses in either wire encoding, so the request-handling code
+/// is written once and stays agnostic of what the connection negotiated.
+class ResponseEncoder {
+ public:
+  explicit ResponseEncoder(Wire wire) : wire_(wire) {}
+
+  Wire wire() const noexcept { return wire_; }
+  std::string pong() const;
+  std::string bye() const;
+  std::string models(std::span<const ModelInfo> models) const;
+  std::string classify(const std::string& model, std::span<const hd::AmDecision> decisions) const;
+  /// `fatal` marks errors after which the server closes the connection;
+  /// phd2 carries it as an explicit flag byte, phd1 implies it from the
+  /// error class (see docs/protocol.md).
+  std::string error(std::string_view code, std::string_view message, bool fatal = false) const;
+
+ private:
+  Wire wire_;
+};
+
+/// One thing the wire produced, in stream order: a completed request, or
+/// bytes the server must transmit now (an error response emitted during
+/// parsing), optionally followed by dropping the connection.
+struct WireEvent {
+  std::optional<Request> request;
+  std::string output;  ///< already encoded for the connection's wire mode
+  bool drop = false;   ///< close the connection after flushing `output`
+};
+
+/// Per-connection protocol state machine: mode negotiation (text vs binary
+/// from the first bytes), line/frame reassembly, request parsing, and
+/// parse-error encoding — everything between "raw bytes arrived" and
+/// "requests to execute / bytes to send", with no sockets involved, so the
+/// epoll server, the blocking test harness and the unit tests all drive
+/// the identical logic.
+class ConnectionSession {
+ public:
+  struct Limits {
+    std::size_t max_line_bytes = kMaxLineBytes;
+    std::size_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  ConnectionSession();  ///< protocol-default Limits
+  explicit ConnectionSession(Limits limits);
+
+  /// Consumes a chunk of bytes off the socket and returns the resulting
+  /// events in stream order. Never throws protocol errors — they are
+  /// already encoded into WireEvent::output. After an event with
+  /// drop == true the session is dead and ignores further input.
+  std::vector<WireEvent> consume(std::string_view bytes);
+
+  /// The negotiated encoding; kText while still negotiating (an error
+  /// answered before negotiation completes is readable in a terminal).
+  Wire wire() const noexcept { return mode_ == Mode::kBinary ? Wire::kBinary : Wire::kText; }
+
+  ResponseEncoder encoder() const noexcept { return ResponseEncoder(wire()); }
+
+  /// True when a request is partially buffered (negotiation bytes, an
+  /// unterminated line, a classify body, or a partial frame) — EOF here
+  /// means the peer died mid-request.
+  bool mid_request() const noexcept;
+
+  /// True after a framing-lost event: the connection must be dropped.
+  bool dead() const noexcept { return mode_ == Mode::kDead; }
+
+ private:
+  enum class Mode { kNegotiating, kText, kBinary, kDead };
+
+  void consume_text(std::string_view bytes, std::vector<WireEvent>& events);
+  void consume_binary(std::string_view bytes, std::vector<WireEvent>& events);
+
+  Mode mode_ = Mode::kNegotiating;
+  Limits limits_;
+  std::string line_buffer_;  ///< negotiation preamble + text-mode partial line
+  RequestParser text_;
+  BinaryRequestParser binary_;
 };
 
 // --- Response serialization (server side) --------------------------------
@@ -154,5 +311,42 @@ std::string format_classify_request(const std::string& model, std::span<const hd
 /// winner distance, full distance row). Throws pulphd::CodedError
 /// (bad-request) on malformed lines. Round-trips format_classify_response.
 hd::AmDecision parse_result_line(std::string_view line);
+
+// --- Binary (phd2) client-side helpers ------------------------------------
+
+/// A body-less binary request frame (`type` is kFramePing/kFrameModels/
+/// kFrameQuit). The caller still sends kBinaryMagic once, first.
+std::string format_binary_command(std::uint8_t type);
+
+/// A complete binary classify request frame. Samples travel as raw
+/// float32 little-endian bits — no text round-trip at all, so bit-exact
+/// by construction.
+std::string format_binary_classify_request(const std::string& model,
+                                           std::span<const hd::Trial> trials);
+
+/// One decoded binary response frame (client side). `type` tells which of
+/// the remaining fields are meaningful.
+struct BinaryResponse {
+  std::uint8_t type = 0;
+  std::string model;                      ///< kFrameResults
+  std::vector<hd::AmDecision> decisions;  ///< kFrameResults
+  std::vector<ModelInfo> models;          ///< kFrameModelList
+  std::string error_code;                 ///< kFrameError
+  std::string error_message;              ///< kFrameError
+  bool fatal = false;                     ///< kFrameError: connection drops after it
+};
+
+/// Incremental client-side decoder for binary response frames; mirrors
+/// BinaryRequestParser. Throws pulphd::CodedError (bad-request) on frames
+/// the server should never produce.
+class BinaryResponseParser {
+ public:
+  void feed(std::string_view bytes) { buffer_.append(bytes.data(), bytes.size()); }
+  std::optional<BinaryResponse> next();
+  bool idle() const noexcept { return buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
 
 }  // namespace pulphd::serve

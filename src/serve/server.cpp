@@ -2,21 +2,36 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "common/status.hpp"
 
 namespace pulphd::serve {
 namespace {
+
+/// Pipelining backpressure: a connection with this many parsed-but-not-yet-
+/// answered requests, or this much un-flushed response data, stops being
+/// read until the backlog drains. Purely an implementation bound (memory
+/// safety against a client that never reads), not a protocol limit.
+constexpr std::size_t kMaxPipelinedRequests = 128;
+constexpr std::size_t kMaxBufferedOutputBytes = std::size_t{8} << 20;
+
+/// Fixed epoll identities; accepted connections count up from
+/// ClassifyServer::next_conn_id_ (16).
+constexpr std::uint64_t kStopId = 0;
+constexpr std::uint64_t kUnixListenerId = 1;
+constexpr std::uint64_t kTcpListenerId = 2;
+constexpr std::uint64_t kCompletionId = 3;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -29,9 +44,9 @@ void close_quietly(int& fd) {
   }
 }
 
-/// Writes the whole buffer; sockets get MSG_NOSIGNAL so a vanished peer
-/// surfaces as an error return instead of SIGPIPE. Returns false once the
-/// peer is gone.
+/// Writes the whole buffer (blocking fd); sockets get MSG_NOSIGNAL so a
+/// vanished peer surfaces as an error return instead of SIGPIPE. Returns
+/// false once the peer is gone.
 bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
@@ -44,50 +59,33 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
-/// Buffered line framing over a socket fd. Lines are LF-terminated; the
-/// terminator is stripped (RequestParser strips a trailing CR itself).
-class LineReader {
- public:
-  enum class Result { kLine, kEof, kTooLong };
-
-  LineReader(int fd, std::size_t max_line_bytes) : fd_(fd), max_line_bytes_(max_line_bytes) {}
-
-  Result next(std::string& line) {
-    while (true) {
-      const std::size_t newline = buffer_.find('\n', scan_from_);
-      if (newline != std::string::npos) {
-        if (newline > max_line_bytes_) return Result::kTooLong;
-        line.assign(buffer_, 0, newline);
-        buffer_.erase(0, newline + 1);
-        scan_from_ = 0;
-        return Result::kLine;
-      }
-      scan_from_ = buffer_.size();
-      if (buffer_.size() > max_line_bytes_) return Result::kTooLong;
-      char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Result::kEof;
-      }
-      // EOF: a partial unterminated line is not a complete frame — drop it.
-      if (n == 0) return Result::kEof;
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::size_t max_line_bytes_;
-  std::string buffer_;
-  std::size_t scan_from_ = 0;
-};
-
 }  // namespace
+
+/// Per-connection event-loop state. Owned and touched exclusively by the
+/// loop thread; workers refer to a connection only by its id, so a
+/// connection that dies mid-request simply orphans its completion.
+struct ClassifyServer::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  ConnectionSession session;
+  std::string outbuf;
+  std::deque<WireEvent> pending;  ///< parsed requests / errors awaiting their turn
+  bool busy = false;              ///< a classify is on a worker
+  bool closing = false;           ///< flush outbuf, then close
+  bool peer_eof = false;          ///< read() hit EOF; still answering pipelined work
+  std::uint32_t armed = 0;        ///< epoll event mask currently registered
+  std::chrono::steady_clock::time_point last_activity;
+
+  Connection(std::uint64_t id_, int fd_, ConnectionSession::Limits limits)
+      : id(id_), fd(fd_), session(limits),
+        last_activity(std::chrono::steady_clock::now()) {}
+};
 
 ClassifyServer::ClassifyServer(const ModelRegistry& registry, ServeConfig config)
     : registry_(registry), config_(std::move(config)) {
-  if (::pipe(stop_pipe_) != 0) throw_errno("ClassifyServer: pipe");
+  // Non-blocking on both ends: stop() must never block in a signal handler,
+  // and shutdown drains the read end until empty.
+  if (::pipe2(stop_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) throw_errno("ClassifyServer: pipe2");
 }
 
 ClassifyServer::~ClassifyServer() {
@@ -95,6 +93,8 @@ ClassifyServer::~ClassifyServer() {
   close_quietly(tcp_fd_);
   close_quietly(stop_pipe_[0]);
   close_quietly(stop_pipe_[1]);
+  close_quietly(epoll_fd_);
+  close_quietly(completion_fd_);
   // Only unlink a path this instance actually bound: when bind failed with
   // EADDRINUSE the path belongs to a live server that must keep it.
   if (unix_bound_) ::unlink(config_.unix_path.c_str());
@@ -111,17 +111,17 @@ void ClassifyServer::bind_and_listen() {
       throw std::runtime_error("ClassifyServer: socket path too long: " + config_.unix_path);
     }
     std::memcpy(addr.sun_path, config_.unix_path.c_str(), config_.unix_path.size() + 1);
-    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
     if (unix_fd_ < 0) throw_errno("ClassifyServer: socket(AF_UNIX)");
     if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
       throw_errno("ClassifyServer: bind " + config_.unix_path +
                   (errno == EADDRINUSE ? " (stale socket? remove it first)" : ""));
     }
     unix_bound_ = true;  // bind created the path; from here on it is ours to unlink
-    if (::listen(unix_fd_, 64) != 0) throw_errno("ClassifyServer: listen " + config_.unix_path);
+    if (::listen(unix_fd_, 128) != 0) throw_errno("ClassifyServer: listen " + config_.unix_path);
   }
   if (config_.tcp_enabled) {
-    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
     if (tcp_fd_ < 0) throw_errno("ClassifyServer: socket(AF_INET)");
     const int one = 1;
     ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -137,7 +137,7 @@ void ClassifyServer::bind_and_listen() {
       throw_errno("ClassifyServer: getsockname");
     }
     tcp_port_ = static_cast<int>(ntohs(addr.sin_port));
-    if (::listen(tcp_fd_, 64) != 0) {
+    if (::listen(tcp_fd_, 128) != 0) {
       throw_errno("ClassifyServer: listen 127.0.0.1:" + std::to_string(tcp_port_));
     }
   }
@@ -152,114 +152,348 @@ void ClassifyServer::stop() noexcept {
 
 void ClassifyServer::run() {
   check_invariant(unix_fd_ >= 0 || tcp_fd_ >= 0, "ClassifyServer::run before bind_and_listen");
-  while (!stopping_.load()) {
-    pollfd fds[3];
-    nfds_t count = 0;
-    fds[count++] = {stop_pipe_[0], POLLIN, 0};
-    if (unix_fd_ >= 0) fds[count++] = {unix_fd_, POLLIN, 0};
-    if (tcp_fd_ >= 0) fds[count++] = {tcp_fd_, POLLIN, 0};
-    if (::poll(fds, count, -1) < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("ClassifyServer: poll");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("ClassifyServer: epoll_create1");
+  completion_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (completion_fd_ < 0) throw_errno("ClassifyServer: eventfd");
+
+  auto watch = [this](int fd, std::uint64_t id) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw_errno("ClassifyServer: epoll_ctl(add)");
     }
-    if ((fds[0].revents & POLLIN) != 0) break;  // stop() signalled
-    for (nfds_t i = 1; i < count; ++i) {
-      if ((fds[i].revents & POLLIN) == 0) continue;
-      const int client = ::accept4(fds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
-      if (client < 0) continue;  // peer vanished between poll and accept
-      // Register the fd before the thread exists: the shutdown sweep below
-      // takes the same lock, so it can never run between "thread spawned"
-      // and "fd registered" and leave a connection it cannot unblock.
-      {
-        std::lock_guard<std::mutex> lock(connections_mutex_);
-        active_fds_.push_back(client);
-        ++live_connections_;
+  };
+  watch(stop_pipe_[0], kStopId);
+  watch(completion_fd_, kCompletionId);
+  if (unix_fd_ >= 0) watch(unix_fd_, kUnixListenerId);
+  if (tcp_fd_ >= 0) watch(tcp_fd_, kTcpListenerId);
+
+  workers_ = std::make_unique<ThreadPool>(resolve_threads(config_.workers));
+
+  epoll_event events[64];
+  while (!stopping_.load()) {
+    const int timeout_ms = idle_sweep_timeout_ms();
+    const int ready = ::epoll_wait(epoll_fd_, events, std::size(events), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("ClassifyServer: epoll_wait");
+    }
+    for (int i = 0; i < ready && !stopping_.load(); ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kStopId) break;
+      if (id == kUnixListenerId) {
+        accept_ready(unix_fd_);
+        continue;
       }
-      try {
-        std::thread([this, client] { run_connection(client); }).detach();
-      } catch (const std::system_error&) {
-        // Thread exhaustion (EAGAIN): drop this connection and roll the
-        // registration back — a leaked live_connections_ increment would
-        // wedge the shutdown drain forever.
-        std::lock_guard<std::mutex> lock(connections_mutex_);
-        std::erase(active_fds_, client);
-        ::close(client);
-        --live_connections_;
+      if (id == kTcpListenerId) {
+        accept_ready(tcp_fd_);
+        continue;
       }
+      if (id == kCompletionId) {
+        std::uint64_t count = 0;
+        (void)::read(completion_fd_, &count, sizeof(count));
+        drain_completions();
+        continue;
+      }
+      // A connection. It may have been closed by an earlier event in this
+      // same batch — look it up fresh.
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        close_connection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) connection_readable(conn);
     }
   }
-  // Shut down: stop accepting, unblock every connection thread's read,
-  // then drain the detached threads via the live-connection count.
+  shutdown_loop();
+}
+
+int ClassifyServer::idle_sweep_timeout_ms() {
+  if (config_.idle_timeout.count() <= 0) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  auto next_deadline = std::chrono::steady_clock::time_point::max();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    // In-flight or queued work means the peer is waiting on us, not idle.
+    if (conn->busy || !conn->pending.empty() || !conn->outbuf.empty()) continue;
+    const auto deadline = conn->last_activity + config_.idle_timeout;
+    if (deadline <= now) {
+      expired.push_back(id);
+    } else {
+      next_deadline = std::min(next_deadline, deadline);
+    }
+  }
+  for (const std::uint64_t id : expired) {
+    const auto it = conns_.find(id);
+    if (it != conns_.end()) close_connection(*it->second);
+  }
+  if (next_deadline == std::chrono::steady_clock::time_point::max()) return -1;
+  const auto wait = std::chrono::ceil<std::chrono::milliseconds>(next_deadline - now);
+  return static_cast<int>(std::clamp<long long>(wait.count(), 1, 60'000));
+}
+
+void ClassifyServer::accept_ready(int listen_fd) {
+  while (true) {
+    const int client = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (client < 0) return;  // EAGAIN, or the peer vanished between poll and accept
+    if (config_.max_connections > 0 && conns_.size() >= config_.max_connections) {
+      // Shed load at the door. The refusal is always the text encoding:
+      // the connection never got to negotiate, and an error line is
+      // readable in a terminal while a binary client fails fast anyway.
+      const std::string refusal = format_error(
+          kErrOverloaded, "server is at its connection limit (" +
+                              std::to_string(config_.max_connections) + "); retry later");
+      (void)::send(client, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      ::close(client);
+      continue;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(id, client, session_limits());
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &ev) != 0) {
+      ::close(client);
+      continue;
+    }
+    conn->armed = EPOLLIN;
+    conns_.emplace(id, std::move(conn));
+  }
+}
+
+void ClassifyServer::connection_readable(Connection& conn) {
+  char chunk[65536];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn);
+      return;
+    }
+    if (n == 0) {
+      // Half-close: the peer may have shut down its write side after a
+      // pipelined burst and still be reading our responses.
+      conn.peer_eof = true;
+      break;
+    }
+    conn.last_activity = std::chrono::steady_clock::now();
+    enqueue_events(conn, conn.session.consume({chunk, static_cast<std::size_t>(n)}));
+    // Respect backpressure mid-read: a pipelining client can fit hundreds
+    // of requests into one socket buffer.
+    if (conn.pending.size() >= kMaxPipelinedRequests ||
+        conn.outbuf.size() >= kMaxBufferedOutputBytes) {
+      break;
+    }
+  }
+  dispatch_next(conn);
+  if (!flush_output(conn)) {
+    close_connection(conn);
+    return;
+  }
+  if (conn.outbuf.empty()) {
+    if (conn.closing || (conn.peer_eof && !conn.busy && conn.pending.empty())) {
+      close_connection(conn);
+      return;
+    }
+  }
+  update_interest(conn);
+}
+
+void ClassifyServer::enqueue_events(Connection& conn, std::vector<WireEvent> events) {
+  for (WireEvent& event : events) conn.pending.push_back(std::move(event));
+}
+
+void ClassifyServer::dispatch_next(Connection& conn) {
+  while (!conn.busy && !conn.closing && !conn.pending.empty()) {
+    WireEvent item = std::move(conn.pending.front());
+    conn.pending.pop_front();
+    if (!item.output.empty()) conn.outbuf += item.output;
+    if (item.drop) {
+      conn.closing = true;
+      conn.pending.clear();
+      return;
+    }
+    if (!item.request.has_value()) continue;
+    if (std::holds_alternative<QuitRequest>(*item.request)) {
+      conn.outbuf += ResponseEncoder(conn.session.wire()).bye();
+      conn.closing = true;
+      conn.pending.clear();
+      return;
+    }
+    if (std::holds_alternative<ClassifyRequest>(*item.request)) {
+      // The only request that computes: hand it to the pool and wait for
+      // its completion before touching the next pipelined item, so
+      // responses keep request order.
+      conn.busy = true;
+      const std::uint64_t id = conn.id;
+      const Wire wire = conn.session.wire();
+      {
+        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        ++in_flight_;
+      }
+      workers_->submit(
+          [this, id, wire, request = std::make_shared<Request>(std::move(*item.request))] {
+            std::string output;
+            try {
+              output = handle_request(*request, wire);
+            } catch (...) {
+              // handle_request already maps failures; this is a backstop so
+              // a worker thread can never die with an exception in flight.
+              output = ResponseEncoder(wire).error(kErrInternal, "unexpected server failure");
+            }
+            {
+              const std::lock_guard<std::mutex> lock(completions_mutex_);
+              completions_.push_back({id, std::move(output)});
+              --in_flight_;
+            }
+            completions_cv_.notify_all();
+            const std::uint64_t one = 1;
+            (void)::write(completion_fd_, &one, sizeof(one));
+          });
+      return;
+    }
+    // ping / models: trivial lookups, answered on the loop thread itself.
+    conn.outbuf += handle_request(*item.request, conn.session.wire());
+  }
+}
+
+void ClassifyServer::drain_completions() {
+  std::vector<Completion> done;
+  {
+    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died while the worker ran
+    Connection& conn = *it->second;
+    conn.busy = false;
+    conn.outbuf += completion.output;
+    conn.last_activity = std::chrono::steady_clock::now();
+    dispatch_next(conn);
+    if (!flush_output(conn)) {
+      close_connection(conn);
+      continue;
+    }
+    if (conn.outbuf.empty() &&
+        (conn.closing || (conn.peer_eof && !conn.busy && conn.pending.empty()))) {
+      close_connection(conn);
+      continue;
+    }
+    update_interest(conn);
+  }
+}
+
+bool ClassifyServer::flush_output(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // EPOLLOUT will resume
+      return false;  // peer is gone
+    }
+    conn.outbuf.erase(0, static_cast<std::size_t>(n));
+    conn.last_activity = std::chrono::steady_clock::now();
+  }
+  return true;
+}
+
+void ClassifyServer::update_interest(Connection& conn) {
+  const bool want_read = !conn.closing && !conn.peer_eof && !conn.session.dead() &&
+                         conn.pending.size() < kMaxPipelinedRequests &&
+                         conn.outbuf.size() < kMaxBufferedOutputBytes;
+  const std::uint32_t events =
+      (want_read ? EPOLLIN : 0u) | (conn.outbuf.empty() ? 0u : EPOLLOUT);
+  if (events == conn.armed) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) conn.armed = events;
+}
+
+void ClassifyServer::close_connection(Connection& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conns_.erase(conn.id);  // destroys conn — nothing may touch it afterwards
+}
+
+void ClassifyServer::shutdown_loop() {
+  // Stop accepting and drop every connection; in-flight worker results are
+  // discarded (their connections are already gone).
   close_quietly(unix_fd_);
   close_quietly(tcp_fd_);
   if (unix_bound_) {
     ::unlink(config_.unix_path.c_str());
     unix_bound_ = false;
   }
-  std::unique_lock<std::mutex> lock(connections_mutex_);
-  for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
-  connections_cv_.wait(lock, [this] { return live_connections_ == 0; });
-}
-
-void ClassifyServer::run_connection(int fd) {
-  serve_loop(fd);
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  std::erase(active_fds_, fd);
-  // Closing under the lock keeps the shutdown sweep away from a reused
-  // fd number: a new accept registers under this same lock.
-  ::close(fd);
-  --live_connections_;
-  // Notify while still holding the mutex: the drain in run() can only
-  // observe live_connections_ == 0 (and let the server be destroyed)
-  // after this thread has released the lock, i.e. after the notify has
-  // finished touching the condition variable.
-  connections_cv_.notify_all();
-}
-
-void ClassifyServer::serve_connection(int fd) const {
-  serve_loop(fd);
-  ::close(fd);
-}
-
-void ClassifyServer::serve_loop(int fd) const {
-  LineReader reader(fd, config_.max_line_bytes);
-  RequestParser parser;
-  std::string line;
-  while (true) {
-    const LineReader::Result got = reader.next(line);
-    if (got == LineReader::Result::kEof) break;
-    if (got == LineReader::Result::kTooLong) {
-      // Framing is lost — answer once and drop the connection.
-      send_all(fd, format_error(kErrTooLarge,
-                                "line exceeds " + std::to_string(config_.max_line_bytes) +
-                                    " bytes"));
-      break;
-    }
-    std::optional<Request> request;
-    try {
-      request = parser.consume_line(line);
-    } catch (const CodedError& e) {
-      if (!send_all(fd, format_error(e.code(), e.what()))) break;
-      // A failed classify (header or body) loses line framing: its
-      // already-sent trial lines would be misread as fresh requests.
-      // Failed single-line requests keep the connection usable.
-      if (parser.framing_lost()) break;
-      continue;
-    }
-    if (!request.has_value()) continue;
-    if (std::holds_alternative<QuitRequest>(*request)) {
-      send_all(fd, format_bye());
-      break;
-    }
-    if (!send_all(fd, handle_request(*request))) break;
+  for (auto& [id, conn] : conns_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+  }
+  conns_.clear();
+  {
+    std::unique_lock<std::mutex> lock(completions_mutex_);
+    completions_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    completions_.clear();
+  }
+  workers_.reset();  // joins the pool
+  close_quietly(epoll_fd_);
+  close_quietly(completion_fd_);
+  // Leave the stop pipe armed-but-drained so a stale byte cannot wake a
+  // hypothetical future run() immediately.
+  char byte = 0;
+  while (::read(stop_pipe_[0], &byte, 1) > 0) {
   }
 }
 
-std::string ClassifyServer::handle_request(const Request& request) const {
+void ClassifyServer::serve_connection(int fd) const {
+  ConnectionSession session(session_limits());
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    for (WireEvent& event : session.consume({chunk, static_cast<std::size_t>(n)})) {
+      if (!event.output.empty() && !send_all(fd, event.output)) {
+        open = false;
+        break;
+      }
+      if (event.request.has_value()) {
+        if (std::holds_alternative<QuitRequest>(*event.request)) {
+          send_all(fd, session.encoder().bye());
+          open = false;
+          break;
+        }
+        if (!send_all(fd, handle_request(*event.request, session.wire()))) {
+          open = false;
+          break;
+        }
+      }
+      if (event.drop) {
+        open = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+std::string ClassifyServer::handle_request(const Request& request, Wire wire) const {
+  const ResponseEncoder encoder(wire);
   try {
-    if (std::holds_alternative<PingRequest>(request)) return format_pong();
+    if (std::holds_alternative<PingRequest>(request)) return encoder.pong();
     if (std::holds_alternative<ModelsRequest>(request)) {
-      return format_models_response(registry_.infos());
+      return encoder.models(registry_.infos());
     }
     const auto& classify = std::get<ClassifyRequest>(request);
     const ModelEntry& entry = registry_.resolve(classify.model);
@@ -285,11 +519,11 @@ std::string ClassifyServer::handle_request(const Request& request) const {
     // the classifier's host threads, then the word-parallel AM kernel.
     const std::vector<hd::AmDecision> decisions =
         entry.classifier.predict_batch(classify.trials);
-    return format_classify_response(entry.name, decisions);
+    return encoder.classify(entry.name, decisions);
   } catch (const CodedError& e) {
-    return format_error(e.code(), e.what());
+    return encoder.error(e.code(), e.what());
   } catch (const std::exception& e) {
-    return format_error(kErrInternal, e.what());
+    return encoder.error(kErrInternal, e.what());
   }
 }
 

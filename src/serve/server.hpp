@@ -1,26 +1,38 @@
 // ClassifyServer — the long-lived serving loop behind `pulphd_cli serve`.
 //
 // Listens on a Unix-domain socket (the deployment default: local IPC, file
-// permissions as access control) and/or a loopback TCP port, speaks the
-// phd1 wire protocol (serve/protocol.hpp, docs/protocol.md), and answers
-// classify requests from a read-only ModelRegistry. Model load is paid
-// once at startup; every classify routes through
+// permissions as access control) and/or a loopback TCP port, speaks both
+// serve wire protocols (text phd1 and binary phd2, negotiated per
+// connection from its first bytes; serve/protocol.hpp, docs/protocol.md),
+// and answers classify requests from a read-only ModelRegistry. Model load
+// is paid once at startup; every classify routes through
 // HdClassifier::predict_batch, so a request's trials are encoded and
 // classified with the classifier's host-thread setting — per-request
 // parallelism for free, bit-identical to the offline batch path.
 //
-// Concurrency model: one accept loop (run()), one thread per connection,
-// requests within a connection answered in order. The registry is
-// immutable while serving, so connection threads share it without locks.
+// Concurrency model: one epoll event-loop thread (run()) owns every
+// connection's state — sockets are non-blocking, reads/writes/parsing all
+// happen on the loop — and a fixed worker pool (common/thread_pool)
+// executes classify requests. Workers never touch connection state: they
+// receive a parsed request, compute the encoded response, and hand it back
+// through a mutex-guarded completion queue + eventfd wakeup. Requests
+// pipelined on one connection are answered strictly in order; different
+// connections classify concurrently across the pool. The registry is
+// immutable while serving, so workers share it without locks.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "serve/registry.hpp"
 
 namespace pulphd::serve {
@@ -36,15 +48,30 @@ struct ServeConfig {
   /// host.
   bool tcp_enabled = false;
   std::uint16_t tcp_port = 0;
-  /// Framing bound per protocol line; longer lines answer `too-large` and
-  /// drop the connection (framing is lost).
+  /// Framing bound per phd1 text line; longer lines answer `too-large`
+  /// and drop the connection (framing is lost).
   std::size_t max_line_bytes = kMaxLineBytes;
+  /// Framing bound per phd2 binary frame payload; a larger declared
+  /// length answers a fatal `too-large` and drops the connection.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Accepted-connection cap (0 = unlimited). A connection over the cap
+  /// is answered with one `overloaded` error line and closed immediately
+  /// (always in text form: the connection never got to negotiate).
+  std::size_t max_connections = 0;
+  /// Idle timeout (0 = none): a connection with no in-flight or pending
+  /// work and no wire activity for this long is closed without a
+  /// response, like any TCP daemon sheds dead peers.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Worker threads executing classify requests (0 = one per hardware
+  /// thread). Trivial requests (ping/models/quit) are answered on the
+  /// event loop itself.
+  std::size_t workers = 0;
 };
 
 class ClassifyServer {
  public:
   /// The registry must outlive the server and must not be mutated while
-  /// run() is live (it is shared, unlocked, across connection threads).
+  /// run() is live (it is shared, unlocked, across worker threads).
   ClassifyServer(const ModelRegistry& registry, ServeConfig config);
   ~ClassifyServer();
 
@@ -60,9 +87,9 @@ class ClassifyServer {
   /// -1 when TCP is disabled.
   int tcp_port() const noexcept { return tcp_port_; }
 
-  /// Accept loop: serves until stop() is called, then shuts down every
-  /// active connection, joins its threads and closes the listeners.
-  /// Requires bind_and_listen() first.
+  /// Event loop: serves until stop() is called, then discards in-flight
+  /// work, shuts down every active connection, drains the worker pool and
+  /// closes the listeners. Requires bind_and_listen() first.
   void run();
 
   /// Requests shutdown. Async-signal-safe (writes one byte to a pipe), so
@@ -71,14 +98,34 @@ class ClassifyServer {
 
   /// Serves one already-established connection until the peer closes, a
   /// `quit` request, or an unrecoverable protocol error; closes `fd`.
-  /// Exposed so tests drive the full request/response loop over a
-  /// socketpair without any listener.
+  /// Blocking and single-threaded — the same ConnectionSession logic the
+  /// event loop drives, exposed so tests cover the full request/response
+  /// loop over a socketpair without any listener or extra threads.
   void serve_connection(int fd) const;
 
  private:
-  void serve_loop(int fd) const;
-  void run_connection(int fd);
-  std::string handle_request(const Request& request) const;
+  struct Connection;
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string output;
+  };
+
+  ConnectionSession::Limits session_limits() const noexcept {
+    return {config_.max_line_bytes, config_.max_frame_bytes};
+  }
+  std::string handle_request(const Request& request, Wire wire) const;
+
+  // Event-loop internals (all run on the loop thread only).
+  void accept_ready(int listen_fd);
+  void connection_readable(Connection& conn);
+  void enqueue_events(Connection& conn, std::vector<WireEvent> events);
+  void dispatch_next(Connection& conn);
+  bool flush_output(Connection& conn);  ///< false when the peer is gone
+  void update_interest(Connection& conn);
+  void close_connection(Connection& conn);
+  void drain_completions();
+  int idle_sweep_timeout_ms();
+  void shutdown_loop();
 
   const ModelRegistry& registry_;
   ServeConfig config_;
@@ -89,15 +136,20 @@ class ClassifyServer {
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
 
-  // Connection threads are detached (a long-lived daemon must not
-  // accumulate one joinable handle per finished connection); shutdown
-  // instead drains them via the live-connection count. The accept loop
-  // registers each fd *before* spawning its thread, so the shutdown sweep
-  // can never miss a connection.
-  std::mutex connections_mutex_;
-  std::condition_variable connections_cv_;
-  std::vector<int> active_fds_;
-  std::size_t live_connections_ = 0;
+  // Loop-thread-only state.
+  int epoll_fd_ = -1;
+  int completion_fd_ = -1;  ///< eventfd the workers signal completions on
+  std::uint64_t next_conn_id_ = 16;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  // Worker → loop handoff: results queue up under the mutex, the eventfd
+  // wakes the loop, and `in_flight_` lets shutdown wait for every worker
+  // to finish before the pool is destroyed.
+  std::mutex completions_mutex_;
+  std::condition_variable completions_cv_;
+  std::vector<Completion> completions_;
+  std::size_t in_flight_ = 0;
 };
 
 }  // namespace pulphd::serve

@@ -228,5 +228,323 @@ TEST(ServeProtocolFormat, MalformedResultLinesThrow) {
   EXPECT_THROW((void)parse_result_line("result label=1 distance=1 distances=1 extra"), CodedError);
 }
 
+// --- phd2 binary framing ---------------------------------------------------
+
+std::string le32(std::uint32_t value) {
+  std::string out(4, '\0');
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+  return out;
+}
+
+/// Wraps a payload in the u32-LE length prefix, the phd2 frame shape.
+std::string make_frame(const std::string& payload) {
+  return le32(static_cast<std::uint32_t>(payload.size())) + payload;
+}
+
+/// Feeds bytes and returns the code of the first CodedError next() throws
+/// ("" when every buffered frame decodes cleanly).
+std::string binary_code_of(BinaryRequestParser& parser, const std::string& bytes) {
+  parser.feed(bytes);
+  try {
+    while (parser.next()) {
+    }
+  } catch (const CodedError& e) {
+    return e.code();
+  }
+  return "";
+}
+
+TEST(ServeBinaryParse, CommandsRoundTrip) {
+  BinaryRequestParser parser;
+  parser.feed(format_binary_command(kFramePing));
+  parser.feed(format_binary_command(kFrameModels));
+  parser.feed(format_binary_command(kFrameQuit));
+  ASSERT_TRUE(std::holds_alternative<PingRequest>(*parser.next()));
+  ASSERT_TRUE(std::holds_alternative<ModelsRequest>(*parser.next()));
+  ASSERT_TRUE(std::holds_alternative<QuitRequest>(*parser.next()));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryParse, ClassifyRoundTripsBitExactly) {
+  // Awkward float values on purpose: raw float32 bits must survive without
+  // any text round-trip at all.
+  std::vector<hd::Trial> trials;
+  trials.push_back({{0.1f, 6.9f, 3.3333333f}, {2.0f, 5.0f, 0.125f}});
+  trials.push_back({{1e-38f, -0.0f, 7.0f}});
+  BinaryRequestParser parser;
+  parser.feed(format_binary_classify_request("subj1", trials));
+  const auto request = parser.next();
+  ASSERT_TRUE(request.has_value());
+  const auto& classify = std::get<ClassifyRequest>(*request);
+  EXPECT_EQ(classify.model, "subj1");
+  EXPECT_EQ(classify.trials, trials);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryParse, TruncatedLengthPrefixWaits) {
+  // Fewer than 4 bytes cannot even declare a length: not an error, just an
+  // incomplete frame. EOF here is a peer dying mid-frame (idle() == false
+  // tells the server nothing can be answered).
+  BinaryRequestParser parser;
+  parser.feed(std::string("\x05\x00", 2));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.idle());
+  EXPECT_FALSE(parser.framing_lost());
+}
+
+TEST(ServeBinaryParse, ByteAtATimeDeliveryReassembles) {
+  const std::vector<hd::Trial> one_trial = {{{1.5f, 2.5f}}};
+  const std::string wire = format_binary_classify_request("m", one_trial);
+  BinaryRequestParser parser;
+  std::optional<Request> request;
+  for (const char byte : wire) {
+    ASSERT_FALSE(request.has_value());
+    parser.feed(std::string_view(&byte, 1));
+    if (auto r = parser.next()) request = std::move(r);
+  }
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(std::get<ClassifyRequest>(*request).trials[0][0][1], 2.5f);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryParse, MidFrameDropIsDetectable) {
+  const std::string wire = format_binary_command(kFramePing);
+  BinaryRequestParser parser;
+  parser.feed(wire.substr(0, wire.size() - 1));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.idle());  // EOF now == peer died inside a frame
+  parser.feed(wire.substr(wire.size() - 1));
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*parser.next()));
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryParse, OversizedDeclaredLengthLosesFraming) {
+  BinaryRequestParser parser(/*max_frame_bytes=*/1024);
+  parser.feed(le32(2048));
+  try {
+    parser.next();
+    FAIL() << "expected a too-large CodedError";
+  } catch (const CodedError& e) {
+    EXPECT_EQ(e.code(), kErrTooLarge);
+  }
+  // The declared length can no longer be trusted, so neither can any byte
+  // after it: framing is lost and the buffered garbage is discarded.
+  EXPECT_TRUE(parser.framing_lost());
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryParse, MalformedPayloadsKeepFramingAndReportStableCodes) {
+  const std::string inf_bits = le32(0x7f800000);  // float32 +inf
+  const struct {
+    std::string payload;
+    std::string_view code;
+  } kCases[] = {
+      // Empty payload: no type byte at all.
+      {"", kErrBadRequest},
+      // Unknown request type.
+      {std::string(1, '\x7f'), kErrBadRequest},
+      // Trailing bytes after a body-less command.
+      {std::string(1, static_cast<char>(kFramePing)) + "x", kErrBadRequest},
+      // Classify truncated inside its declared sample data.
+      {std::string(1, static_cast<char>(kFrameClassify)) + std::string(1, '\0') + le32(1) +
+           le32(1) + std::string("\x02\x00", 2) + le32(0x3f800000),
+       kErrBadRequest},
+      // Classify with zero trials.
+      {std::string(1, static_cast<char>(kFrameClassify)) + std::string(1, '\0') + le32(0),
+       kErrBadRequest},
+      // Classify declaring more trials than the request limit.
+      {std::string(1, static_cast<char>(kFrameClassify)) + std::string(1, '\0') +
+           le32(static_cast<std::uint32_t>(kMaxTrialsPerRequest + 1)),
+       kErrTooLarge},
+      // Zero channels.
+      {std::string(1, static_cast<char>(kFrameClassify)) + std::string(1, '\0') + le32(1) +
+           le32(1) + std::string("\x00\x00", 2),
+       kErrBadRequest},
+      // Non-finite sample value.
+      {std::string(1, static_cast<char>(kFrameClassify)) + std::string(1, '\0') + le32(1) +
+           le32(1) + std::string("\x01\x00", 2) + inf_bits,
+       kErrBadRequest},
+  };
+  for (const auto& c : kCases) {
+    BinaryRequestParser parser;
+    EXPECT_EQ(binary_code_of(parser, make_frame(c.payload)), c.code);
+    // The error was confined to its own delimited frame: the very next
+    // frame on the same parser must decode normally.
+    EXPECT_FALSE(parser.framing_lost());
+    parser.feed(format_binary_command(kFramePing));
+    EXPECT_TRUE(std::holds_alternative<PingRequest>(*parser.next()));
+  }
+}
+
+TEST(ServeBinaryResponses, RoundTripThroughResponseParser) {
+  const ResponseEncoder encoder(Wire::kBinary);
+  BinaryResponseParser parser;
+
+  parser.feed(encoder.pong());
+  EXPECT_EQ(parser.next()->type, kFramePong);
+  parser.feed(encoder.bye());
+  EXPECT_EQ(parser.next()->type, kFrameBye);
+
+  std::vector<ModelInfo> infos;
+  infos.push_back({"subj0", 10000, 4, 5, 3, true});
+  infos.push_back({"subj1", 512, 8, 3, 1, false});
+  parser.feed(encoder.models(infos));
+  const auto models = parser.next();
+  ASSERT_EQ(models->type, kFrameModelList);
+  ASSERT_EQ(models->models.size(), 2u);
+  EXPECT_EQ(models->models[0].name, "subj0");
+  EXPECT_EQ(models->models[0].dim, 10000u);
+  EXPECT_TRUE(models->models[0].is_default);
+  EXPECT_EQ(models->models[1].channels, 8u);
+  EXPECT_FALSE(models->models[1].is_default);
+
+  std::vector<hd::AmDecision> decisions(2);
+  decisions[0].label = 2;
+  decisions[0].distance = 1234;
+  decisions[0].distances = {4000, 2222, 1234};
+  decisions[1].label = 0;
+  decisions[1].distance = 7;
+  decisions[1].distances = {7, 5011, 4999};
+  parser.feed(encoder.classify("subj0", decisions));
+  const auto results = parser.next();
+  ASSERT_EQ(results->type, kFrameResults);
+  EXPECT_EQ(results->model, "subj0");
+  ASSERT_EQ(results->decisions.size(), 2u);
+  EXPECT_EQ(results->decisions[0].label, 2u);
+  EXPECT_EQ(results->decisions[0].distances, decisions[0].distances);
+  EXPECT_EQ(results->decisions[1].distance, 7u);
+
+  parser.feed(encoder.error(kErrBadTrial, "wrong channel count", /*fatal=*/false));
+  const auto kept = parser.next();
+  ASSERT_EQ(kept->type, kFrameError);
+  EXPECT_EQ(kept->error_code, kErrBadTrial);
+  EXPECT_EQ(kept->error_message, "wrong channel count");
+  EXPECT_FALSE(kept->fatal);
+
+  parser.feed(encoder.error(kErrTooLarge, "frame over limit", /*fatal=*/true));
+  EXPECT_TRUE(parser.next()->fatal);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryResponses, TextEncoderMatchesLegacyFormatters) {
+  const ResponseEncoder encoder(Wire::kText);
+  EXPECT_EQ(encoder.pong(), format_pong());
+  EXPECT_EQ(encoder.bye(), format_bye());
+  std::vector<hd::AmDecision> decisions(1);
+  decisions[0].distances = {1, 2, 3};
+  EXPECT_EQ(encoder.classify("m", decisions), format_classify_response("m", decisions));
+  EXPECT_EQ(encoder.error(kErrInternal, "boom"), format_error(kErrInternal, "boom"));
+}
+
+// --- connection session: negotiation + framing -----------------------------
+
+TEST(ServeSession, NegotiatesTextFromFirstBytes) {
+  ConnectionSession session;
+  const auto events = session.consume("phd1 ping\nphd1 quit\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*events[0].request));
+  EXPECT_TRUE(std::holds_alternative<QuitRequest>(*events[1].request));
+  EXPECT_EQ(session.wire(), Wire::kText);
+  EXPECT_FALSE(session.dead());
+}
+
+TEST(ServeSession, SplitMagicStillNegotiatesBinary) {
+  ConnectionSession session;
+  EXPECT_TRUE(session.consume("PH").empty());
+  EXPECT_TRUE(session.mid_request());  // EOF here = peer died mid-negotiation
+  const auto events = session.consume(std::string("D2") + format_binary_command(kFramePing));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*events[0].request));
+  EXPECT_EQ(session.wire(), Wire::kBinary);
+  EXPECT_FALSE(session.mid_request());
+}
+
+TEST(ServeSession, TextLineOnABinaryConnectionIsAFatalFrameError) {
+  // After the magic, every byte is framing: an interleaved text line reads
+  // as an absurd length prefix ("phd1" = ~827 MB), so the server answers a
+  // fatal binary too-large error and drops the connection.
+  ConnectionSession session;
+  const auto events = session.consume(std::string(kBinaryMagic) + "phd1 ping\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].request.has_value());
+  EXPECT_TRUE(events[0].drop);
+  BinaryResponseParser parser;
+  parser.feed(events[0].output);
+  const auto error = parser.next();
+  ASSERT_EQ(error->type, kFrameError);
+  EXPECT_EQ(error->error_code, kErrTooLarge);
+  EXPECT_TRUE(error->fatal);
+  EXPECT_TRUE(session.dead());
+  EXPECT_TRUE(session.consume("anything").empty());  // dead sessions ignore input
+}
+
+TEST(ServeSession, BinaryMagicOnATextConnectionIsAVersionError) {
+  // The reverse interleaving: a text connection later sending "PHD2 ..."
+  // is just an unsupported-version line — answered, connection kept.
+  ConnectionSession session;
+  const auto events = session.consume("phd1 ping\nPHD2 ping\nphd1 ping\n");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*events[0].request));
+  EXPECT_FALSE(events[1].request.has_value());
+  EXPECT_NE(events[1].output.find(kErrUnsupportedVersion), std::string::npos);
+  EXPECT_FALSE(events[1].drop);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*events[2].request));
+}
+
+TEST(ServeSession, BinaryPayloadErrorKeepsTheConnection) {
+  ConnectionSession session;
+  const std::string bad = make_frame(std::string(1, '\x7f'));  // unknown type
+  const auto events = session.consume(std::string(kBinaryMagic) + bad +
+                                      format_binary_command(kFramePing));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].request.has_value());
+  EXPECT_FALSE(events[0].drop);
+  BinaryResponseParser parser;
+  parser.feed(events[0].output);
+  EXPECT_EQ(parser.next()->error_code, kErrBadRequest);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*events[1].request));
+  EXPECT_FALSE(session.dead());
+}
+
+TEST(ServeSession, OversizedFrameDropsTheConnection) {
+  ConnectionSession session(ConnectionSession::Limits{kMaxLineBytes, 64});
+  const auto events = session.consume(std::string(kBinaryMagic) + le32(65));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].drop);
+  EXPECT_TRUE(session.dead());
+}
+
+TEST(ServeSession, OverlongUnterminatedTextLineDrops) {
+  ConnectionSession session(ConnectionSession::Limits{16, kMaxFrameBytes});
+  // No newline yet, but already over the line limit: framing can never
+  // recover, so the session must not wait for a terminator that may never
+  // come.
+  const auto events = session.consume(std::string(32, 'a'));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].output.find(kErrTooLarge), std::string::npos);
+  EXPECT_TRUE(events[0].drop);
+  EXPECT_TRUE(session.dead());
+}
+
+TEST(ServeSession, MidRequestTracksPartialFramesAndLines) {
+  ConnectionSession text;
+  EXPECT_FALSE(text.mid_request());
+  text.consume("phd1 pi");  // unterminated line
+  EXPECT_TRUE(text.mid_request());
+  text.consume("ng\n");
+  EXPECT_FALSE(text.mid_request());
+
+  ConnectionSession binary;
+  const std::string wire = std::string(kBinaryMagic) + format_binary_command(kFramePing);
+  binary.consume(wire.substr(0, wire.size() - 2));
+  EXPECT_TRUE(binary.mid_request());
+  binary.consume(wire.substr(wire.size() - 2));
+  EXPECT_FALSE(binary.mid_request());
+}
+
 }  // namespace
 }  // namespace pulphd::serve

@@ -88,6 +88,37 @@ class Client {
     }
   }
 
+  /// Reads exactly `bytes` bytes (blocking). Fails the test on EOF.
+  std::string read_exact(std::size_t bytes) {
+    std::string out(bytes, '\0');
+    std::size_t got = 0;
+    while (got < bytes) {
+      const ssize_t n = ::read(fd_, out.data() + got, bytes - got);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while expecting " << bytes << " bytes";
+        out.resize(got);
+        return out;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return out;
+  }
+
+  /// Reads one complete phd2 frame (length prefix + payload) and decodes it.
+  BinaryResponse read_frame() {
+    const std::string prefix = read_exact(4);
+    std::uint32_t length = 0;
+    for (int i = 3; i >= 0; --i) {
+      length = (length << 8) | static_cast<std::uint8_t>(prefix[static_cast<std::size_t>(i)]);
+    }
+    BinaryResponseParser parser;
+    parser.feed(prefix);
+    parser.feed(read_exact(length));
+    const auto response = parser.next();
+    EXPECT_TRUE(response.has_value());
+    return response.value_or(BinaryResponse{});
+  }
+
   /// True when the peer has closed (read returns EOF).
   bool at_eof() {
     char c = 0;
@@ -98,6 +129,8 @@ class Client {
     ::close(fd_);
     fd_ = -1;
   }
+
+  int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
@@ -243,6 +276,77 @@ TEST_F(ServeConnectionTest, OverlongLineAnswersTooLargeAndCloses) {
   EXPECT_TRUE(client.at_eof());
 }
 
+// --- phd2 binary connections over the same serve_connection loop ----------
+
+TEST_F(ServeConnectionTest, BinaryClassifyIsBitIdenticalToOfflineBatch) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  client.send(std::string(kBinaryMagic));
+  const std::vector<hd::Trial> trials = query_trials();
+  for (const std::string model : {"subj0", "subj1"}) {
+    const std::vector<hd::AmDecision> offline =
+        registry_.resolve(model).classifier.predict_batch(trials);
+    client.send(format_binary_classify_request(model, trials));
+    const BinaryResponse response = client.read_frame();
+    ASSERT_EQ(response.type, kFrameResults);
+    EXPECT_EQ(response.model, model);
+    ASSERT_EQ(response.decisions.size(), offline.size());
+    for (std::size_t i = 0; i < offline.size(); ++i) {
+      EXPECT_EQ(response.decisions[i].label, offline[i].label);
+      EXPECT_EQ(response.decisions[i].distance, offline[i].distance);
+      EXPECT_EQ(response.decisions[i].distances, offline[i].distances);
+    }
+  }
+  client.send(format_binary_command(kFrameQuit));
+  EXPECT_EQ(client.read_frame().type, kFrameBye);
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST_F(ServeConnectionTest, BinaryPayloadErrorsKeepTheConnectionUsable) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  client.send(std::string(kBinaryMagic));
+  // Unknown frame type: the frame is fully delimited, so the error is
+  // answered and the connection stays up.
+  client.send(std::string("\x01\x00\x00\x00\x7f", 5));
+  BinaryResponse error = client.read_frame();
+  ASSERT_EQ(error.type, kFrameError);
+  EXPECT_EQ(error.error_code, kErrBadRequest);
+  EXPECT_FALSE(error.fatal);
+  // Unknown model: request-level error, same deal.
+  client.send(format_binary_classify_request("subj9", query_trials()));
+  error = client.read_frame();
+  ASSERT_EQ(error.type, kFrameError);
+  EXPECT_EQ(error.error_code, kErrUnknownModel);
+  EXPECT_FALSE(error.fatal);
+  client.send(format_binary_command(kFramePing));
+  EXPECT_EQ(client.read_frame().type, kFramePong);
+}
+
+TEST_F(ServeConnectionTest, OversizedBinaryFrameIsFatalAndCloses) {
+  ServeConfig config;
+  config.max_frame_bytes = 256;
+  Harness harness(registry_, config);
+  Client& client = harness.client();
+  client.send(std::string(kBinaryMagic));
+  client.send(std::string("\x01\x04\x00\x00", 4));  // declares 1025 bytes > 256
+  const BinaryResponse error = client.read_frame();
+  ASSERT_EQ(error.type, kFrameError);
+  EXPECT_EQ(error.error_code, kErrTooLarge);
+  EXPECT_TRUE(error.fatal);
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST_F(ServeConnectionTest, PeerVanishingMidFrameClosesWithoutAResponse) {
+  Harness harness(registry_);
+  Client& client = harness.client();
+  client.send(std::string(kBinaryMagic));
+  const std::string wire = format_binary_classify_request("subj0", query_trials());
+  client.send(wire.substr(0, wire.size() / 2));
+  // Close mid-frame: nothing can be answered, the server must just drop
+  // the connection (the Harness destructor would hang if it did not).
+}
+
 int connect_unix(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
@@ -333,6 +437,173 @@ TEST(ServeListener, StopShutsDownIdleConnections) {
   server.stop();
   accept_thread.join();
   EXPECT_TRUE(client.at_eof());
+}
+
+TEST(ServeListener, MixedTextAndBinaryConnectionsShareOneListener) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_mixed.sock";
+  config.workers = 2;
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  const std::vector<hd::Trial> trials = query_trials();
+  const std::vector<hd::AmDecision> offline =
+      registry.resolve("subj0").classifier.predict_batch(trials);
+  {
+    // One text and one binary client, interleaved on the same listener.
+    Client text(connect_unix(config.unix_path));
+    Client binary(connect_unix(config.unix_path));
+    binary.send(std::string(kBinaryMagic));
+    text.send(format_classify_request("subj0", trials));
+    binary.send(format_binary_classify_request("subj0", trials));
+    EXPECT_EQ(text.read_line(), "ok classify model=subj0 results=3");
+    const BinaryResponse response = binary.read_frame();
+    ASSERT_EQ(response.type, kFrameResults);
+    ASSERT_EQ(response.decisions.size(), offline.size());
+    for (std::size_t i = 0; i < offline.size(); ++i) {
+      EXPECT_EQ(parse_result_line(text.read_line()).distances, offline[i].distances);
+      EXPECT_EQ(response.decisions[i].label, offline[i].label);
+      EXPECT_EQ(response.decisions[i].distances, offline[i].distances);
+    }
+  }
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, PipelinedBinaryBurstIsAnsweredInOrder) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_burst.sock";
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  const std::vector<hd::Trial> trials = query_trials();
+  Client client(connect_unix(config.unix_path));
+  // The whole burst goes out before any response is read: 8 classifies of
+  // varying size, a ping, then quit. Responses must come back in request
+  // order with the right per-request result counts.
+  std::string burst(kBinaryMagic);
+  std::vector<std::size_t> expected_counts;
+  for (std::size_t k = 0; k < 8; ++k) {
+    const std::size_t count = (k % trials.size()) + 1;
+    const std::vector<hd::Trial> subset(trials.begin(),
+                                        trials.begin() + static_cast<std::ptrdiff_t>(count));
+    burst += format_binary_classify_request("subj0", subset);
+    expected_counts.push_back(count);
+  }
+  burst += format_binary_command(kFramePing);
+  burst += format_binary_command(kFrameQuit);
+  client.send(burst);
+  for (const std::size_t count : expected_counts) {
+    const BinaryResponse response = client.read_frame();
+    ASSERT_EQ(response.type, kFrameResults);
+    const std::vector<hd::Trial> subset(trials.begin(),
+                                        trials.begin() + static_cast<std::ptrdiff_t>(count));
+    const std::vector<hd::AmDecision> offline =
+        registry.resolve("subj0").classifier.predict_batch(subset);
+    ASSERT_EQ(response.decisions.size(), offline.size());
+    for (std::size_t i = 0; i < offline.size(); ++i) {
+      EXPECT_EQ(response.decisions[i].distances, offline[i].distances);
+    }
+  }
+  EXPECT_EQ(client.read_frame().type, kFramePong);
+  EXPECT_EQ(client.read_frame().type, kFrameBye);
+  EXPECT_TRUE(client.at_eof());
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, OverLimitConnectionsAreAnsweredOverloadedAndClosed) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_cap.sock";
+  config.max_connections = 2;
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  Client first(connect_unix(config.unix_path));
+  Client second(connect_unix(config.unix_path));
+  // Round-trips prove both connections are registered before the third
+  // arrives (connect() alone can succeed while the accept is still queued).
+  first.send("phd1 ping\n");
+  EXPECT_EQ(first.read_line(), "ok pong");
+  second.send("phd1 ping\n");
+  EXPECT_EQ(second.read_line(), "ok pong");
+
+  Client third(connect_unix(config.unix_path));
+  const std::string refusal = third.read_line();
+  EXPECT_TRUE(refusal.starts_with("err code=overloaded")) << refusal;
+  EXPECT_TRUE(third.at_eof());
+
+  // The refused connection cost nothing: the admitted ones still work, and
+  // closing one frees a slot for a newcomer.
+  first.send("phd1 ping\n");
+  EXPECT_EQ(first.read_line(), "ok pong");
+  second.close_now();
+  for (int attempt = 0;; ++attempt) {
+    Client retry(connect_unix(config.unix_path));
+    retry.send("phd1 ping\n");
+    char c = 0;
+    if (::read(retry.fd(), &c, 1) == 1 && c == 'o') break;  // admitted
+    ASSERT_LT(attempt, 100) << "slot was never freed after a close";
+  }
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, IdleConnectionsAreClosedAfterTheTimeout) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_idle.sock";
+  config.idle_timeout = std::chrono::milliseconds(50);
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  Client client(connect_unix(config.unix_path));
+  client.send("phd1 ping\n");
+  EXPECT_EQ(client.read_line(), "ok pong");
+  // No further requests: the server must close the connection on its own
+  // (at_eof blocks until it does; a missing sweep would hang this test).
+  EXPECT_TRUE(client.at_eof());
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, MidFrameDisconnectLeavesTheServerServing) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_midframe.sock";
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  {
+    Client dying(connect_unix(config.unix_path));
+    const std::string wire =
+        std::string(kBinaryMagic) + format_binary_classify_request("subj0", query_trials());
+    dying.send(wire.substr(0, wire.size() - 7));
+    dying.close_now();  // EOF lands mid-frame: nothing to answer, just drop
+  }
+  Client alive(connect_unix(config.unix_path));
+  alive.send(std::string(kBinaryMagic) + format_binary_command(kFramePing));
+  EXPECT_EQ(alive.read_frame().type, kFramePong);
+  server.stop();
+  accept_thread.join();
 }
 
 TEST(ServeListener, RefusesToStartWithoutAnyListener) {

@@ -8,9 +8,10 @@
    and the binary cannot drift apart.
 3. The protocol spec (docs/protocol.md) is in lockstep with the parser
    header (src/serve/protocol.hpp): the version token, every error-code
-   token, and the numeric request limits (kMaxTrialsPerRequest,
-   kMaxSamplesPerTrial, kMaxLineBytes) defined in the header appear in
-   the doc.
+   token, the numeric request limits (kMaxTrialsPerRequest,
+   kMaxSamplesPerTrial, kMaxLineBytes, kMaxFrameBytes), the binary
+   negotiation magic (kBinaryMagic), and every binary frame-type byte
+   (kFrame* hex values) defined in the header appear in the doc.
 
 Exit code 0 = all good; 1 = findings (printed one per line).
 """
@@ -27,6 +28,9 @@ ERR_TOKEN_RE = re.compile(r'kErr\w+\s*=\s*"([a-z-]+)"')
 VERSION_TOKEN_RE = re.compile(r'kProtocolVersionToken\s*=\s*"(\w+)"')
 LIMIT_RE = re.compile(r"(kMaxTrialsPerRequest|kMaxSamplesPerTrial)\s*=\s*(\d+)")
 LINE_LIMIT_RE = re.compile(r"kMaxLineBytes\s*=\s*1\s*<<\s*(\d+)")
+FRAME_LIMIT_RE = re.compile(r"kMaxFrameBytes\s*=\s*1\s*<<\s*(\d+)")
+BINARY_MAGIC_RE = re.compile(r'kBinaryMagic\s*=\s*"(\w+)"')
+FRAME_TYPE_RE = re.compile(r"(kFrame\w+)\s*=\s*(0x[0-9A-Fa-f]{2})")
 
 
 def doc_files():
@@ -102,6 +106,24 @@ def check_protocol_lockstep():
         mib = (1 << int(line_limit.group(1))) >> 20
         if f"{mib} MiB" not in spec:
             problems.append(f"docs/protocol.md never states the line limit ({mib} MiB)")
+    frame_limit = FRAME_LIMIT_RE.search(header)
+    if not frame_limit:
+        problems.append("src/serve/protocol.hpp: kMaxFrameBytes (1 << N) not found")
+    else:
+        mib = (1 << int(frame_limit.group(1))) >> 20
+        if f"{mib} MiB" not in spec:
+            problems.append(f"docs/protocol.md never states the frame limit ({mib} MiB)")
+    magic = BINARY_MAGIC_RE.search(header)
+    if not magic:
+        problems.append("src/serve/protocol.hpp: kBinaryMagic not found")
+    elif f"`{magic.group(1)}`" not in spec:
+        problems.append(f"docs/protocol.md never names the binary magic `{magic.group(1)}`")
+    frame_types = FRAME_TYPE_RE.findall(header)
+    if not frame_types:
+        problems.append("src/serve/protocol.hpp: no kFrame* type bytes found")
+    for name, value in frame_types:
+        if f"`{value}`" not in spec:
+            problems.append(f"docs/protocol.md is missing frame type {name} (`{value}`)")
     return problems
 
 

@@ -6,8 +6,11 @@
 // which CI keeps in lockstep with the help text below (tools/check_docs.py
 // asserts the --help output appears verbatim in the doc).
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -45,7 +48,8 @@ const char kTopLevelHelp[] =
     "      Price one classification on every platform of the paper (cycles,\n"
     "      frequency for 10 ms latency, power).\n"
     "  serve --model [NAME=]PATH [--model ...] (--socket PATH | --tcp PORT)\n"
-    "        [--default NAME] [--threads T]\n"
+    "        [--default NAME] [--threads T] [--workers W] [--max-conns N]\n"
+    "        [--idle-timeout SECONDS]\n"
     "      Long-lived multi-model classification daemon; see\n"
     "      `pulphd_cli serve --help`.\n"
     "\n"
@@ -64,12 +68,15 @@ const char kTopLevelHelp[] =
 const char kServeHelp[] =
     "usage: pulphd_cli serve --model [NAME=]PATH [--model [NAME=]PATH ...]\n"
     "                        (--socket PATH | --tcp PORT) [--default NAME]\n"
-    "                        [--threads T]\n"
+    "                        [--threads T] [--workers W] [--max-conns N]\n"
+    "                        [--idle-timeout SECONDS]\n"
     "\n"
     "Long-lived classification daemon: loads every --model once at startup,\n"
-    "then answers phd1 wire-protocol requests (docs/protocol.md) until\n"
-    "SIGINT/SIGTERM. Requests are routed by their model= field; requests\n"
-    "naming no model go to the default model.\n"
+    "then answers wire-protocol requests (text phd1 or binary phd2,\n"
+    "negotiated per connection; docs/protocol.md) until SIGINT/SIGTERM.\n"
+    "Connections are multiplexed on one event loop; classify requests\n"
+    "execute on a fixed worker pool. Requests are routed by their model=\n"
+    "field; requests naming no model go to the default model.\n"
     "\n"
     "flags:\n"
     "  --model [NAME=]PATH  register the serialized model at PATH under NAME\n"
@@ -84,7 +91,16 @@ const char kServeHelp[] =
     "                       (default: the first --model)\n"
     "  --threads T          host threads used per request for batch\n"
     "                       encoding/classification (1 = serial, 0 = one\n"
-    "                       per hardware thread)\n";
+    "                       per hardware thread)\n"
+    "  --workers W          worker threads executing classify requests\n"
+    "                       (0 = one per hardware thread; default 0)\n"
+    "  --max-conns N        simultaneous-connection cap; a connection over\n"
+    "                       the cap is answered with one `overloaded` error\n"
+    "                       and closed (0 = unlimited; default 0)\n"
+    "  --idle-timeout SECONDS\n"
+    "                       close a connection with no request in flight\n"
+    "                       and no wire activity for this long\n"
+    "                       (0 = never; default 0)\n";
 
 [[noreturn]] void usage_error(const char* help) {
   std::fputs(help, stderr);
@@ -93,6 +109,18 @@ const char kServeHelp[] =
 
 bool is_help_flag(const char* arg) {
   return std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0;
+}
+
+/// Strict non-negative integer parse for flag values; anything else (empty,
+/// trailing junk, sign) is a usage error rather than a silent 0.
+std::size_t parse_count(const std::string& value, const char* help) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() ||
+      !std::isdigit(static_cast<unsigned char>(value.front()))) {
+    usage_error(help);
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 // --- train / info / eval / price ------------------------------------------
@@ -294,6 +322,12 @@ ServeOptions parse_serve(int argc, char** argv) {
       opt.default_model = value;
     } else if (flag == "--threads") {
       opt.threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--workers") {
+      opt.config.workers = parse_count(value, kServeHelp);
+    } else if (flag == "--max-conns") {
+      opt.config.max_connections = parse_count(value, kServeHelp);
+    } else if (flag == "--idle-timeout") {
+      opt.config.idle_timeout = std::chrono::seconds(parse_count(value, kServeHelp));
     } else {
       usage_error(kServeHelp);
     }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end serve smoke: train two named per-subject models, start
-# `pulphd_cli serve` on a Unix socket, drive it with a scripted python3
-# client (models + routed classify + default-route classify + quit),
-# then shut it down with SIGINT and check the exit was clean. Used by
+# `pulphd_cli serve` on a Unix socket, then drive it with two scripted
+# python3 clients: a text phd1 session (models + routed classify +
+# default-route classify + quit) and a binary phd2 session (negotiation
+# plus a fully pipelined burst sent before any response is read). The
+# server is shut down with SIGINT and the exit checked clean. Used by
 # the CI docs job; runs anywhere with bash + python3.
 set -euo pipefail
 
@@ -57,6 +59,66 @@ grep -q "^ok classify model=subj1 results=1$" "$WORK/out.txt"
 grep -q "^ok classify model=subj0 results=1$" "$WORK/out.txt"   # default route
 grep -q "^result label=" "$WORK/out.txt"
 grep -q "^ok bye$" "$WORK/out.txt"
+
+# Binary phd2 session on the same listener: negotiate with the "PHD2"
+# magic, then pipeline the whole burst (ping, models, routed classify,
+# default-route classify, quit) before reading a single response. The
+# server must answer every frame in request order and then close.
+python3 - "$WORK/phd.sock" <<'EOF'
+import socket, struct, sys
+
+def frame(payload):
+    return struct.pack("<I", len(payload)) + payload
+
+def classify(name, trials):
+    payload = bytearray([0x04, len(name)]) + name.encode()
+    payload += struct.pack("<I", len(trials))
+    for trial in trials:
+        payload += struct.pack("<IH", len(trial), len(trial[0]))
+        for sample in trial:
+            payload += struct.pack(f"<{len(sample)}f", *sample)
+    return frame(bytes(payload))
+
+burst = b"PHD2"                                   # negotiation magic
+burst += frame(b"\x01")                           # ping
+burst += frame(b"\x02")                           # models
+burst += classify("subj1", [[(1, 2, 3, 4), (2, 3, 4, 5), (3, 4, 5, 6)]])
+burst += classify("", [[(1, 2, 3, 4)]])           # default route
+burst += frame(b"\x03")                           # quit
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(burst)
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+
+def next_frame(buf):
+    assert len(buf) >= 4, "truncated length prefix"
+    (length,) = struct.unpack_from("<I", buf)
+    assert len(buf) >= 4 + length, "truncated frame payload"
+    return buf[4:4 + length], buf[4 + length:]
+
+def result_model(payload):
+    name_len = payload[1]
+    return payload[2:2 + name_len].decode()
+
+types = []
+payloads = []
+while buf:
+    payload, buf = next_frame(buf)
+    types.append(payload[0])
+    payloads.append(payload)
+assert types == [0x81, 0x83, 0x84, 0x84, 0x82], [hex(t) for t in types]
+(model_count,) = struct.unpack_from("<I", payloads[1], 1)
+assert model_count == 2, model_count
+assert result_model(payloads[2]) == "subj1"
+assert result_model(payloads[3]) == "subj0"       # default routed
+print("binary pipelined burst OK")
+EOF
 
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
