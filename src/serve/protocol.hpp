@@ -46,6 +46,9 @@
 //   too-large            trials=/samples= exceed the kMax* limits below
 //   unknown-model        model= names no registered model / no default
 //   bad-trial            trial incompatible with the routed model
+//   overloaded           server at its connection cap; sent once at accept
+//                        time (always as a text line — the connection
+//                        never got to negotiate) before an immediate close
 //   internal             unexpected server-side failure
 #pragma once
 

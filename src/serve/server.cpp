@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -25,6 +26,11 @@ namespace {
 /// safety against a client that never reads), not a protocol limit.
 constexpr std::size_t kMaxPipelinedRequests = 128;
 constexpr std::size_t kMaxBufferedOutputBytes = std::size_t{8} << 20;
+
+/// flush_output reclaims the sent prefix of outbuf only once it is at
+/// least this large AND at least half the buffer, so a slow reader pays
+/// amortized O(1) per byte instead of O(n^2) erase-from-front.
+constexpr std::size_t kOutbufCompactBytes = std::size_t{64} << 10;
 
 /// Fixed epoll identities; accepted connections count up from
 /// ClassifyServer::next_conn_id_ (16).
@@ -68,7 +74,8 @@ struct ClassifyServer::Connection {
   std::uint64_t id = 0;
   int fd = -1;
   ConnectionSession session;
-  std::string outbuf;
+  std::string outbuf;       ///< encoded responses; [0, outoff) is already sent
+  std::size_t outoff = 0;   ///< sent prefix of outbuf (reclaimed lazily)
   std::deque<WireEvent> pending;  ///< parsed requests / errors awaiting their turn
   bool busy = false;              ///< a classify is on a worker
   bool closing = false;           ///< flush outbuf, then close
@@ -79,6 +86,9 @@ struct ClassifyServer::Connection {
   Connection(std::uint64_t id_, int fd_, ConnectionSession::Limits limits)
       : id(id_), fd(fd_), session(limits),
         last_activity(std::chrono::steady_clock::now()) {}
+
+  bool out_empty() const noexcept { return outoff == outbuf.size(); }
+  std::size_t out_size() const noexcept { return outbuf.size() - outoff; }
 };
 
 ClassifyServer::ClassifyServer(const ModelRegistry& registry, ServeConfig config)
@@ -203,11 +213,17 @@ void ClassifyServer::run() {
       if (it == conns_.end()) continue;
       Connection& conn = *it->second;
       if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
-          (events[i].events & EPOLLIN) == 0) {
+          (events[i].events & (EPOLLIN | EPOLLOUT)) == 0) {
         close_connection(conn);
         continue;
       }
       if ((events[i].events & EPOLLIN) != 0) connection_readable(conn);
+      if ((events[i].events & EPOLLOUT) != 0) {
+        // The readable branch may have closed (and destroyed) the
+        // connection — re-resolve before resuming the write side.
+        const auto again = conns_.find(id);
+        if (again != conns_.end()) connection_writable(*again->second);
+      }
     }
   }
   shutdown_loop();
@@ -220,7 +236,11 @@ int ClassifyServer::idle_sweep_timeout_ms() {
   std::vector<std::uint64_t> expired;
   for (const auto& [id, conn] : conns_) {
     // In-flight or queued work means the peer is waiting on us, not idle.
-    if (conn->busy || !conn->pending.empty() || !conn->outbuf.empty()) continue;
+    // Un-drained output does NOT exempt a connection: last_activity is
+    // refreshed on every successful send, so a non-empty outbuf with no
+    // progress for the whole timeout means the peer stopped reading — reap
+    // it like any other dead peer.
+    if (conn->busy || !conn->pending.empty()) continue;
     const auto deadline = conn->last_activity + config_.idle_timeout;
     if (deadline <= now) {
       expired.push_back(id);
@@ -248,7 +268,25 @@ void ClassifyServer::accept_ready(int listen_fd) {
       const std::string refusal = format_error(
           kErrOverloaded, "server is at its connection limit (" +
                               std::to_string(config_.max_connections) + "); retry later");
-      (void)::send(client, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      // Best-effort delivery on the non-blocking socket: a freshly accepted
+      // connection's send buffer is empty, so one send() almost always
+      // takes the whole line — but retry briefly on partial writes/EAGAIN
+      // rather than silently truncating the refusal. Bounded so a hostile
+      // peer cannot stall the accept loop.
+      std::string_view rest = refusal;
+      for (int attempt = 0; attempt < 8 && !rest.empty(); ++attempt) {
+        const ssize_t n = ::send(client, rest.data(), rest.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+          rest.remove_prefix(static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+          pollfd pfd{client, POLLOUT, 0};
+          (void)::poll(&pfd, 1, 10);
+          continue;
+        }
+        break;  // peer is gone; the refusal was advisory anyway
+      }
       ::close(client);
       continue;
     }
@@ -287,20 +325,30 @@ void ClassifyServer::connection_readable(Connection& conn) {
     // Respect backpressure mid-read: a pipelining client can fit hundreds
     // of requests into one socket buffer.
     if (conn.pending.size() >= kMaxPipelinedRequests ||
-        conn.outbuf.size() >= kMaxBufferedOutputBytes) {
+        conn.out_size() >= kMaxBufferedOutputBytes) {
       break;
     }
   }
+  finish_io(conn);
+}
+
+void ClassifyServer::connection_writable(Connection& conn) {
+  // EPOLLOUT: the socket drained, so the parked outbuf can flush again —
+  // and flushing may release the pipelining backpressure that stopped
+  // dispatch, so run the full post-I/O tail.
+  finish_io(conn);
+}
+
+void ClassifyServer::finish_io(Connection& conn) {
   dispatch_next(conn);
   if (!flush_output(conn)) {
     close_connection(conn);
     return;
   }
-  if (conn.outbuf.empty()) {
-    if (conn.closing || (conn.peer_eof && !conn.busy && conn.pending.empty())) {
-      close_connection(conn);
-      return;
-    }
+  if (conn.out_empty() &&
+      (conn.closing || (conn.peer_eof && !conn.busy && conn.pending.empty()))) {
+    close_connection(conn);
+    return;
   }
   update_interest(conn);
 }
@@ -376,30 +424,31 @@ void ClassifyServer::drain_completions() {
     conn.busy = false;
     conn.outbuf += completion.output;
     conn.last_activity = std::chrono::steady_clock::now();
-    dispatch_next(conn);
-    if (!flush_output(conn)) {
-      close_connection(conn);
-      continue;
-    }
-    if (conn.outbuf.empty() &&
-        (conn.closing || (conn.peer_eof && !conn.busy && conn.pending.empty()))) {
-      close_connection(conn);
-      continue;
-    }
-    update_interest(conn);
+    finish_io(conn);
   }
 }
 
 bool ClassifyServer::flush_output(Connection& conn) {
-  while (!conn.outbuf.empty()) {
-    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
+  while (!conn.out_empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.outoff, conn.out_size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // EPOLLOUT will resume
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT will resume
       return false;  // peer is gone
     }
-    conn.outbuf.erase(0, static_cast<std::size_t>(n));
+    conn.outoff += static_cast<std::size_t>(n);
     conn.last_activity = std::chrono::steady_clock::now();
+  }
+  // Reclaim the sent prefix: free everything once drained, otherwise
+  // compact only when the prefix dominates the buffer (amortized O(1)
+  // per byte; a straight erase-per-send is O(n^2) against a slow reader).
+  if (conn.out_empty()) {
+    conn.outbuf.clear();
+    conn.outoff = 0;
+  } else if (conn.outoff >= kOutbufCompactBytes && conn.outoff >= conn.outbuf.size() / 2) {
+    conn.outbuf.erase(0, conn.outoff);
+    conn.outoff = 0;
   }
   return true;
 }
@@ -407,9 +456,9 @@ bool ClassifyServer::flush_output(Connection& conn) {
 void ClassifyServer::update_interest(Connection& conn) {
   const bool want_read = !conn.closing && !conn.peer_eof && !conn.session.dead() &&
                          conn.pending.size() < kMaxPipelinedRequests &&
-                         conn.outbuf.size() < kMaxBufferedOutputBytes;
+                         conn.out_size() < kMaxBufferedOutputBytes;
   const std::uint32_t events =
-      (want_read ? EPOLLIN : 0u) | (conn.outbuf.empty() ? 0u : EPOLLOUT);
+      (want_read ? EPOLLIN : 0u) | (conn.out_empty() ? 0u : EPOLLOUT);
   if (events == conn.armed) return;
   epoll_event ev{};
   ev.events = events;

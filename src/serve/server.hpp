@@ -118,6 +118,10 @@ class ClassifyServer {
   // Event-loop internals (all run on the loop thread only).
   void accept_ready(int listen_fd);
   void connection_readable(Connection& conn);
+  void connection_writable(Connection& conn);  ///< EPOLLOUT: resume a parked flush
+  /// Shared post-I/O tail (dispatch, flush, close-when-finished, re-arm
+  /// epoll). May destroy `conn`; callers must not touch it afterwards.
+  void finish_io(Connection& conn);
   void enqueue_events(Connection& conn, std::vector<WireEvent> events);
   void dispatch_next(Connection& conn);
   bool flush_output(Connection& conn);  ///< false when the peer is gone

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -515,6 +516,52 @@ TEST(ServeListener, PipelinedBinaryBurstIsAnsweredInOrder) {
   }
   EXPECT_EQ(client.read_frame().type, kFramePong);
   EXPECT_EQ(client.read_frame().type, kFrameBye);
+  EXPECT_TRUE(client.at_eof());
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, SlowReaderBacklogIsFlushedByWritableEvents) {
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_slow.sock";
+  config.workers = 2;
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+
+  // Each request is ~16 KiB but its response is ~35 KiB (512 result
+  // lines), so 32 pipelined requests produce ~1 MiB of responses — far
+  // over the socket send buffer. The client deliberately reads nothing
+  // while the server answers, forcing send() into EAGAIN with the rest
+  // parked in the connection's outbuf; delivering that backlog depends
+  // entirely on EPOLLOUT resuming the flush.
+  const std::vector<hd::Trial> trials(512, hd::Trial{{0.5f, 1.5f, 2.5f, 3.5f}});
+  const std::vector<hd::AmDecision> offline =
+      registry.resolve("subj0").classifier.predict_batch(trials);
+  constexpr std::size_t kRequests = 32;
+  Client client(connect_unix(config.unix_path));
+  std::string burst;
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    burst += format_classify_request("subj0", trials);
+  }
+  client.send(burst);
+  // Give the workers time to answer into the full socket: the stall this
+  // guards against only exists once outbuf is non-empty with EPOLLOUT as
+  // the only wake-up left.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    ASSERT_EQ(client.read_line(), "ok classify model=subj0 results=512");
+    for (const hd::AmDecision& expected : offline) {
+      const hd::AmDecision served = parse_result_line(client.read_line());
+      ASSERT_EQ(served.label, expected.label);
+      ASSERT_EQ(served.distances, expected.distances);
+    }
+  }
+  client.send("phd1 quit\n");
+  EXPECT_EQ(client.read_line(), "ok bye");
   EXPECT_TRUE(client.at_eof());
   server.stop();
   accept_thread.join();
