@@ -1,0 +1,6 @@
+// libFuzzer entry point for the serialized-model loader (see harness.hpp).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return pulphd::fuzz::model_load_one_input(data, size);
+}

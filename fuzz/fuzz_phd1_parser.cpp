@@ -1,0 +1,6 @@
+// libFuzzer entry point for the phd1 text protocol (see harness.hpp).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return pulphd::fuzz::phd1_one_input(data, size);
+}

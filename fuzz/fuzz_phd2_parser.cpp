@@ -1,0 +1,6 @@
+// libFuzzer entry point for the phd2 binary protocol (see harness.hpp).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return pulphd::fuzz::phd2_one_input(data, size);
+}

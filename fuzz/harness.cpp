@@ -1,0 +1,181 @@
+#include "fuzz/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hd/serialization.hpp"
+#include "serve/protocol.hpp"
+
+namespace pulphd::fuzz {
+namespace {
+
+// A parse failure the protocol/loader contracts allow. Everything else —
+// std::bad_alloc from an attacker-sized reserve, std::logic_error from a
+// broken invariant, a sanitizer report — must escape and crash the run.
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+#define FUZZ_ASSERT(cond) \
+  do {                    \
+    if (!(cond)) fail(#cond); \
+  } while (0)
+
+/// Deterministic per-input chunk sizes: a tiny xorshift stream seeded from
+/// the input itself, so the same input always replays the same chunking
+/// (required for crash reproduction) while different inputs explore
+/// different read() boundaries.
+class ChunkStream {
+ public:
+  ChunkStream(const std::uint8_t* data, std::size_t size) : state_(0x9e3779b97f4a7c15ULL ^ size) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(size, 8); ++i) {
+      state_ = (state_ << 8) | data[i];
+    }
+    if (state_ == 0) state_ = 1;
+  }
+
+  /// Next chunk length in [1, remaining]; biased small so frame headers and
+  /// the 4-byte magic routinely split across reads.
+  std::size_t next(std::size_t remaining) {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    const std::size_t want = 1 + static_cast<std::size_t>(state_ % 37);
+    return std::min(want, remaining);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::string_view as_view(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+/// Drives one ConnectionSession over the input in randomized chunkings and
+/// checks the session's lifecycle invariants (dead-after-drop, dead
+/// sessions stay silent).
+void drive_session(const std::uint8_t* data, std::size_t size,
+                   serve::ConnectionSession::Limits limits) {
+  serve::ConnectionSession session(limits);
+  ChunkStream chunks(data, size);
+  bool dropped = false;
+  std::size_t offset = 0;
+  while (offset < size) {
+    const std::size_t len = chunks.next(size - offset);
+    const std::vector<serve::WireEvent> events = session.consume(as_view(data + offset, len));
+    offset += len;
+    for (const serve::WireEvent& event : events) {
+      FUZZ_ASSERT(event.request.has_value() || !event.output.empty() || event.drop);
+      if (event.drop) dropped = true;
+    }
+    if (dropped) {
+      FUZZ_ASSERT(session.dead());
+      // A dead session must ignore everything that follows.
+      FUZZ_ASSERT(session.consume(as_view(data, std::min<std::size_t>(size, 16))).empty());
+      break;
+    }
+    FUZZ_ASSERT(!session.dead());
+  }
+}
+
+}  // namespace
+
+int phd1_one_input(const std::uint8_t* data, std::size_t size) {
+  // Pass 1: the line-level RequestParser, exactly as serve_connection feeds
+  // it (terminators stripped). consume_line documents reset-before-throw,
+  // so after any CodedError the parser must be idle again.
+  {
+    serve::RequestParser parser;
+    const std::string_view input = as_view(data, size);
+    std::size_t start = 0;
+    while (start <= input.size()) {
+      const std::size_t nl = input.find('\n', start);
+      const std::string_view line =
+          input.substr(start, nl == std::string_view::npos ? input.size() - start : nl - start);
+      try {
+        (void)parser.consume_line(line);
+      } catch (const CodedError&) {
+        FUZZ_ASSERT(parser.idle());
+        if (parser.framing_lost()) break;
+      }
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  // Pass 2: the full session state machine (negotiation + reassembly) in
+  // input-derived chunkings, with limits small enough that fuzz-sized
+  // inputs actually reach the too-large / framing-lost paths.
+  drive_session(data, size, {/*max_line_bytes=*/256, /*max_frame_bytes=*/1024});
+  return 0;
+}
+
+int phd2_one_input(const std::uint8_t* data, std::size_t size) {
+  // Pass 1: the frame parser over the raw bytes (magic already consumed, as
+  // on a negotiated connection). The frame limit is small so a 4-byte
+  // declared length can exceed it.
+  {
+    serve::BinaryRequestParser parser(/*max_frame_bytes=*/512);
+    parser.feed(as_view(data, size));
+    try {
+      while (parser.next().has_value()) {
+      }
+    } catch (const CodedError&) {
+      if (parser.framing_lost()) {
+        // Un-frameable stream: the caller drops the connection; nothing
+        // further may be decoded.
+      }
+    }
+  }
+
+  // Pass 2: negotiation + framing via the session (inputs must earn the
+  // "PHD2" magic; the seed corpus provides it), randomized chunkings.
+  drive_session(data, size, {/*max_line_bytes=*/256, /*max_frame_bytes=*/512});
+
+  // Pass 3: the client-side response decoder over the same bytes — it
+  // parses server-produced frames, so arbitrary input must fail with
+  // CodedError, never crash or over-allocate.
+  {
+    serve::BinaryResponseParser parser;
+    parser.feed(as_view(data, size));
+    try {
+      while (parser.next().has_value()) {
+      }
+    } catch (const CodedError&) {
+    }
+  }
+  return 0;
+}
+
+int model_load_one_input(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(std::string(as_view(data, size)));
+  try {
+    const hd::ClassifierModel model = hd::load_model(in);
+    // A stream that loads must be structurally sound: matrix row counts
+    // match the config, every row has the configured dimensionality, and
+    // an embedded name (if any) is a valid token.
+    FUZZ_ASSERT(model.im.size() == model.config.channels);
+    FUZZ_ASSERT(model.cim.size() == model.config.levels);
+    FUZZ_ASSERT(model.am.size() == model.config.classes);
+    for (const auto* rows : {&model.im, &model.cim, &model.am}) {
+      for (const hd::Hypervector& hv : *rows) {
+        FUZZ_ASSERT(hv.dim() == model.config.dim);
+      }
+    }
+    FUZZ_ASSERT(model.name.empty() || hd::is_valid_model_name(model.name));
+  } catch (const std::invalid_argument&) {  // ClassifierConfig::validate
+  } catch (const std::runtime_error&) {     // malformed stream
+  }
+  return 0;
+}
+
+}  // namespace pulphd::fuzz

@@ -1,0 +1,36 @@
+// Shared fuzz entry points for the pulphd attack surfaces that parse
+// untrusted bytes: the text (phd1) and binary (phd2) wire protocols and the
+// serialized-model loader.
+//
+// Each function is one libFuzzer-style iteration: deterministic, crash-free
+// on every input (expected parse failures are caught; anything else —
+// assertion, sanitizer report, uncaught exception — is a finding). The
+// same entry points back three harnesses so coverage never depends on the
+// toolchain:
+//   * fuzz/fuzz_*.cpp wraps them as LLVMFuzzerTestOneInput for
+//     coverage-guided libFuzzer runs (Clang, -DPULPHD_FUZZ=ON),
+//   * fuzz/replay_main.cpp wraps them as file-replay executables for any
+//     compiler,
+//   * tests/fuzz/fuzz_regression_test.cpp replays the checked-in corpora
+//     under the normal ctest run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pulphd::fuzz {
+
+/// Text protocol: RequestParser fed the input's lines one at a time, then
+/// a ConnectionSession fed the raw bytes in input-derived chunk sizes.
+int phd1_one_input(const std::uint8_t* data, std::size_t size);
+
+/// Binary protocol: BinaryRequestParser over the raw bytes, a
+/// ConnectionSession negotiating the PHD2 magic in arbitrary chunkings,
+/// and the client-side BinaryResponseParser over the same bytes.
+int phd2_one_input(const std::uint8_t* data, std::size_t size);
+
+/// Model loader: hd::load_model on an arbitrary stream; a stream that
+/// loads must satisfy the model's structural invariants.
+int model_load_one_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace pulphd::fuzz

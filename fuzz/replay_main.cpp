@@ -1,0 +1,55 @@
+// File-replay driver for the fuzz entry points, buildable with any
+// compiler (no libFuzzer needed): runs every argument file (or every
+// regular file inside an argument directory) through the harness selected
+// at compile time via PULPHD_FUZZ_ENTRY. Exits non-zero on I/O errors; a
+// harness finding aborts, exactly as under libFuzzer.
+//
+//   fuzz_replay_phd1 fuzz/corpus/phd1           # replay a whole corpus
+//   fuzz_replay_phd2 crash-da39a3ee...          # reproduce one crash file
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.hpp"
+
+namespace {
+
+bool replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz_replay: cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  (void)PULPHD_FUZZ_ENTRY(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  std::printf("fuzz_replay: ok %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE-OR-DIR...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) ok = replay_file(file) && ok;
+    } else {
+      ok = replay_file(arg) && ok;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable carrying Clang's
+// thread-safety capability attributes, so `clang -Wthread-safety` proves at
+// compile time that every access to a PULPHD_GUARDED_BY field happens with
+// the right lock held. On compilers without the attributes (GCC, MSVC) the
+// macros expand to nothing and the wrappers compile down to the standard
+// types — zero behavioural difference, the annotations are purely static.
+//
+// Usage rules (docs/development.md#thread-safety-annotations keeps the
+// prose version in lockstep):
+//   * Every field shared between threads is declared
+//     `PULPHD_GUARDED_BY(mutex_)` next to the Mutex that protects it.
+//   * Lock with the scoped `MutexLock`; never call Mutex::lock() directly
+//     outside a scoped guard (the analysis and the exception-safety story
+//     both want RAII).
+//   * A private method touching guarded state without locking declares
+//     `PULPHD_REQUIRES(mutex_)`; a public method that locks internally
+//     declares `PULPHD_EXCLUDES(mutex_)` so re-entry deadlocks are caught
+//     statically.
+//   * Condition-variable predicates are written as explicit while-loops
+//     around CondVar::wait (not the predicate overload) so the guarded
+//     reads stay inside the annotated critical section.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Capability attribute spellings, following the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Prefixed to stay
+// out of the way of other libraries' identical macros.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PULPHD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PULPHD_THREAD_ANNOTATION
+#define PULPHD_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+#define PULPHD_CAPABILITY(x) PULPHD_THREAD_ANNOTATION(capability(x))
+#define PULPHD_SCOPED_CAPABILITY PULPHD_THREAD_ANNOTATION(scoped_lockable)
+#define PULPHD_GUARDED_BY(x) PULPHD_THREAD_ANNOTATION(guarded_by(x))
+#define PULPHD_PT_GUARDED_BY(x) PULPHD_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PULPHD_REQUIRES(...) PULPHD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PULPHD_ACQUIRE(...) PULPHD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PULPHD_RELEASE(...) PULPHD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PULPHD_TRY_ACQUIRE(...) PULPHD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PULPHD_EXCLUDES(...) PULPHD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PULPHD_RETURN_CAPABILITY(x) PULPHD_THREAD_ANNOTATION(lock_returned(x))
+#define PULPHD_NO_THREAD_SAFETY_ANALYSIS PULPHD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pulphd {
+
+/// std::mutex as a named static capability.
+class PULPHD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PULPHD_ACQUIRE() { mu_.lock(); }
+  void unlock() PULPHD_RELEASE() { mu_.unlock(); }
+  bool try_lock() PULPHD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for interop with std lock machinery (MutexLock,
+  /// CondVar). Does not transfer the capability — callers never lock
+  /// through this directly.
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex (the std::lock_guard / std::unique_lock of this
+/// layer; there is only the scoped form on purpose — see the usage rules).
+class PULPHD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PULPHD_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() PULPHD_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying unique_lock, for CondVar::wait only.
+  std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. wait() atomically
+/// releases and reacquires the lock exactly like std::condition_variable;
+/// from the static analysis's point of view the capability is held across
+/// the call, which matches what the caller may assume on entry and exit.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pulphd

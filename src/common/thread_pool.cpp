@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
 
 namespace pulphd {
 
@@ -12,10 +13,10 @@ namespace {
 
 /// Join state of one parallel_for call: shards left, first error seen.
 struct Batch {
-  std::mutex mutex;
-  std::condition_variable done;
-  std::size_t pending = 0;
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar done;
+  std::size_t pending PULPHD_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error PULPHD_GUARDED_BY(mutex);
 };
 
 }  // namespace
@@ -29,7 +30,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -40,8 +41,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) wake_.wait(lock);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -75,9 +76,12 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t shards,
   }
 
   auto batch = std::make_shared<Batch>();
-  batch->pending = shards;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock batch_lock(batch->mutex);
+    batch->pending = shards;
+  }
+  {
+    const MutexLock lock(mutex_);
     std::size_t begin = 0;
     for (std::size_t s = 0; s < shards; ++s) {
       const std::size_t end = begin + base + (s < extra ? 1 : 0);
@@ -85,11 +89,11 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t shards,
         try {
           fn(begin, end);
         } catch (...) {
-          const std::lock_guard<std::mutex> batch_lock(batch->mutex);
+          const MutexLock batch_lock(batch->mutex);
           if (!batch->error) batch->error = std::current_exception();
         }
         {
-          const std::lock_guard<std::mutex> batch_lock(batch->mutex);
+          const MutexLock batch_lock(batch->mutex);
           --batch->pending;
         }
         batch->done.notify_all();
@@ -107,12 +111,12 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t shards,
   // running on workers are awaited below.
   for (;;) {
     {
-      const std::lock_guard<std::mutex> batch_lock(batch->mutex);
+      const MutexLock batch_lock(batch->mutex);
       if (batch->pending == 0) break;
     }
     std::function<void()> task;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (tasks_.empty()) break;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -120,8 +124,8 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t shards,
     task();
   }
 
-  std::unique_lock<std::mutex> lock(batch->mutex);
-  batch->done.wait(lock, [&batch] { return batch->pending == 0; });
+  MutexLock lock(batch->mutex);
+  while (batch->pending != 0) batch->done.wait(lock);
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
@@ -132,7 +136,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   wake_.notify_one();

@@ -8,13 +8,13 @@
 // any thread count is bit-identical to the single-threaded loop.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace pulphd {
 
@@ -36,7 +36,8 @@ class ThreadPool {
   /// exception thrown by any chunk is rethrown on the caller. fn must write
   /// only state owned by its own [begin, end) range.
   void parallel_for(std::size_t n, std::size_t shards,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn)
+      PULPHD_EXCLUDES(mutex_);
 
   /// Fire-and-forget: enqueues `task` for some worker and returns
   /// immediately (no join handle; the task owns its own completion
@@ -45,7 +46,7 @@ class ThreadPool {
   /// the task runs inline on the caller, so it is never silently dropped.
   /// Tasks already queued when the pool is destroyed still run to
   /// completion before the workers join.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) PULPHD_EXCLUDES(mutex_);
 
   /// Usable hardware concurrency (>= 1 even when the runtime reports 0).
   static std::size_t hardware_threads() noexcept;
@@ -55,13 +56,15 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop() PULPHD_EXCLUDES(mutex_);
 
+  /// Immutable after the constructor returns (only ever joined), so reads
+  /// like workers() need no lock.
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar wake_;  ///< signalled on new tasks and on stop
+  std::deque<std::function<void()>> tasks_ PULPHD_GUARDED_BY(mutex_);
+  bool stop_ PULPHD_GUARDED_BY(mutex_) = false;
 };
 
 /// Resolves a user-facing `threads` knob: 0 means "one per hardware thread",

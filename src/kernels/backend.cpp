@@ -93,6 +93,8 @@ const Backend& active_backend() {
   // override wins and a bad value fails loudly; otherwise pick the widest
   // backend the CPU supports. Concurrent first calls race benignly — both
   // resolve to the same descriptor.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; nothing in the
+  // process calls setenv/putenv, so there is no writer to race with.
   const char* env = std::getenv("PULPHD_BACKEND");
   const Backend& chosen =
       (env != nullptr && *env != '\0') ? resolve_backend_choice(env) : widest_supported();

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -577,7 +578,11 @@ std::optional<BinaryResponse> BinaryResponseParser::next() {
         decision.label = reader.u32("result label");
         decision.distance = reader.u32("result distance");
         const std::uint32_t classes = reader.u32("result class count");
-        decision.distances.reserve(classes);
+        // The count came off the wire: cap the reserve by what the frame
+        // can actually hold (4 bytes per distance), so a corrupt count
+        // fails in the bounds-checked read below instead of attempting a
+        // multi-gigabyte allocation here.
+        decision.distances.reserve(std::min<std::size_t>(classes, reader.remaining() / 4));
         for (std::uint32_t c = 0; c < classes; ++c) {
           decision.distances.push_back(reader.u32("result distances"));
         }

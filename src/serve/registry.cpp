@@ -7,34 +7,32 @@
 #include "hd/serialization.hpp"
 
 namespace pulphd::serve {
-namespace {
 
-const ModelEntry* find_entry(const std::vector<std::unique_ptr<ModelEntry>>& entries,
-                             const std::string& name) {
-  for (const auto& entry : entries) {
+const ModelEntry* ModelRegistry::find_locked(const std::string& name) const {
+  for (const auto& entry : entries_) {
     if (entry->name == name) return entry.get();
   }
   return nullptr;
 }
 
-}  // namespace
-
-void ModelRegistry::add(const std::string& name, hd::HdClassifier classifier,
-                        std::string source_path) {
+const ModelEntry& ModelRegistry::add(const std::string& name, hd::HdClassifier classifier,
+                                     std::string source_path) {
   if (!hd::is_valid_model_name(name)) {
     throw std::runtime_error("ModelRegistry: invalid model name \"" + name +
                              "\" (want 1..64 chars of [A-Za-z0-9._-])");
   }
-  if (find_entry(entries_, name) != nullptr) {
+  const MutexLock lock(mutex_);
+  if (find_locked(name) != nullptr) {
     throw std::runtime_error("ModelRegistry: duplicate model name \"" + name + "\"");
   }
   entries_.push_back(std::make_unique<ModelEntry>(
       ModelEntry{name, std::move(classifier), std::move(source_path)}));
   if (default_name_.empty()) default_name_ = name;
+  return *entries_.back();
 }
 
-void ModelRegistry::load_file(const std::string& name, const std::string& path,
-                              std::size_t threads) {
+const ModelEntry& ModelRegistry::load_file(const std::string& name, const std::string& path,
+                                           std::size_t threads) {
   hd::ClassifierModel model;
   try {
     model = hd::load_model_file(path);
@@ -54,7 +52,7 @@ void ModelRegistry::load_file(const std::string& name, const std::string& path,
   try {
     hd::HdClassifier classifier = hd::classifier_from_model(model);
     classifier.set_threads(threads);
-    add(resolved, std::move(classifier), path);
+    return add(resolved, std::move(classifier), path);
   } catch (const std::exception& e) {
     throw std::runtime_error("ModelRegistry: loading model \"" + resolved + "\" from " + path +
                              ": " + e.what());
@@ -62,7 +60,8 @@ void ModelRegistry::load_file(const std::string& name, const std::string& path,
 }
 
 void ModelRegistry::set_default(const std::string& name) {
-  if (find_entry(entries_, name) == nullptr) {
+  const MutexLock lock(mutex_);
+  if (find_locked(name) == nullptr) {
     throw std::runtime_error("ModelRegistry: cannot default to unregistered model \"" + name +
                              "\"");
   }
@@ -70,11 +69,12 @@ void ModelRegistry::set_default(const std::string& name) {
 }
 
 const ModelEntry& ModelRegistry::resolve(const std::string& name) const {
+  const MutexLock lock(mutex_);
   if (entries_.empty()) {
     throw CodedError(std::string(kErrUnknownModel), "no models are registered");
   }
   const std::string& wanted = name.empty() ? default_name_ : name;
-  const ModelEntry* entry = find_entry(entries_, wanted);
+  const ModelEntry* entry = find_locked(wanted);
   if (entry == nullptr) {
     std::string known;
     for (const auto& e : entries_) {
@@ -87,7 +87,23 @@ const ModelEntry& ModelRegistry::resolve(const std::string& name) const {
   return *entry;
 }
 
+std::size_t ModelRegistry::size() const {
+  const MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+bool ModelRegistry::empty() const {
+  const MutexLock lock(mutex_);
+  return entries_.empty();
+}
+
+std::string ModelRegistry::default_name() const {
+  const MutexLock lock(mutex_);
+  return default_name_;
+}
+
 std::vector<ModelInfo> ModelRegistry::infos() const {
+  const MutexLock lock(mutex_);
   std::vector<ModelInfo> out;
   out.reserve(entries_.size());
   for (const auto& entry : entries_) {

@@ -3,9 +3,16 @@
 // One serving process holds several named, fully loaded HdClassifiers
 // (per-subject models, the paper's deployment unit: "the model training is
 // done per subject") and routes every classify request by model name, with
-// a configurable default for requests that name none. The registry is
-// built once at startup and read-only afterwards, so concurrent
-// connection threads may resolve() without locking.
+// a configurable default for requests that name none.
+//
+// Concurrency: all mutable state is guarded by an internal mutex (Clang
+// thread-safety annotated), so registration and routing may race freely —
+// the prerequisite for the ROADMAP's hot model lifecycle, where models are
+// added while the server is live. Entries themselves are immutable once
+// registered and their addresses are stable (unique_ptr storage, no
+// removal), so the ModelEntry& returned by resolve()/add()/load_file()
+// stays valid for the registry's lifetime and is read concurrently by the
+// worker pool without any lock.
 #pragma once
 
 #include <cstddef>
@@ -13,13 +20,15 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "hd/classifier.hpp"
 #include "serve/protocol.hpp"
 
 namespace pulphd::serve {
 
 /// One registered model: routing name, ready-to-classify classifier, and
-/// the file it came from ("" for models added in memory).
+/// the file it came from ("" for models added in memory). Immutable after
+/// registration.
 struct ModelEntry {
   std::string name;
   hd::HdClassifier classifier;
@@ -28,43 +37,48 @@ struct ModelEntry {
 
 class ModelRegistry {
  public:
-  /// Registers a ready classifier under `name`. The first model added
-  /// becomes the default until set_default overrides it. Throws
+  /// Registers a ready classifier under `name` and returns the stored
+  /// entry (address stable for the registry's lifetime). The first model
+  /// added becomes the default until set_default overrides it. Throws
   /// std::runtime_error on an invalid name token or a duplicate name.
-  void add(const std::string& name, hd::HdClassifier classifier, std::string source_path = "");
+  const ModelEntry& add(const std::string& name, hd::HdClassifier classifier,
+                        std::string source_path = "") PULPHD_EXCLUDES(mutex_);
 
-  /// Loads a serialized model from `path` and registers it. `name` may be
-  /// empty, in which case the model's embedded name (serialization format
-  /// v2) is used — an unnamed v1 stream then fails with an error telling
-  /// the operator to pass NAME=PATH. Every failure message includes both
-  /// the model name (when known) and the offending path. `threads` is the
-  /// host-thread knob applied to the loaded classifier.
-  void load_file(const std::string& name, const std::string& path, std::size_t threads = 1);
+  /// Loads a serialized model from `path`, registers it and returns the
+  /// stored entry. `name` may be empty, in which case the model's embedded
+  /// name (serialization format v2) is used — an unnamed v1 stream then
+  /// fails with an error telling the operator to pass NAME=PATH. Every
+  /// failure message includes both the model name (when known) and the
+  /// offending path. `threads` is the host-thread knob applied to the
+  /// loaded classifier.
+  const ModelEntry& load_file(const std::string& name, const std::string& path,
+                              std::size_t threads = 1) PULPHD_EXCLUDES(mutex_);
 
   /// Makes `name` the default route; throws std::runtime_error when no
   /// such model is registered.
-  void set_default(const std::string& name);
+  void set_default(const std::string& name) PULPHD_EXCLUDES(mutex_);
 
   /// Routes a request: "" resolves to the default model, anything else to
   /// the model of that name. Throws pulphd::CodedError(unknown-model) when
   /// the name is unknown or the registry is empty.
-  const ModelEntry& resolve(const std::string& name) const;
+  const ModelEntry& resolve(const std::string& name) const PULPHD_EXCLUDES(mutex_);
 
-  std::size_t size() const noexcept { return entries_.size(); }
-  bool empty() const noexcept { return entries_.empty(); }
-  const std::string& default_name() const noexcept { return default_name_; }
+  std::size_t size() const PULPHD_EXCLUDES(mutex_);
+  bool empty() const PULPHD_EXCLUDES(mutex_);
+  std::string default_name() const PULPHD_EXCLUDES(mutex_);
 
-  /// Entries in registration order (stable for the `models` response).
-  const std::vector<std::unique_ptr<ModelEntry>>& entries() const noexcept { return entries_; }
-
-  /// The `models` response rows for the current contents.
-  std::vector<ModelInfo> infos() const;
+  /// The `models` response rows for the current contents, in registration
+  /// order (stable — entries are never removed or reordered).
+  std::vector<ModelInfo> infos() const PULPHD_EXCLUDES(mutex_);
 
  private:
-  // unique_ptr keeps ModelEntry addresses stable across add() so resolve()
-  // results remain valid while the registry grows during startup.
-  std::vector<std::unique_ptr<ModelEntry>> entries_;
-  std::string default_name_;
+  const ModelEntry* find_locked(const std::string& name) const PULPHD_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  // unique_ptr keeps ModelEntry addresses stable across add() so resolved
+  // entries remain valid while the registry grows.
+  std::vector<std::unique_ptr<ModelEntry>> entries_ PULPHD_GUARDED_BY(mutex_);
+  std::string default_name_ PULPHD_GUARDED_BY(mutex_);
 };
 
 }  // namespace pulphd::serve

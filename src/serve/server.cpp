@@ -39,8 +39,23 @@ constexpr std::uint64_t kUnixListenerId = 1;
 constexpr std::uint64_t kTcpListenerId = 2;
 constexpr std::uint64_t kCompletionId = 3;
 
+/// Thread-safe errno formatting: workers and the loop thread both throw
+/// through here, and std::strerror shares one static buffer.
+std::string errno_text(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns the message (buf only backs unknown codes).
+  return ::strerror_r(err, buf, sizeof(buf));
+#else
+  if (::strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
+}
+
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw std::runtime_error(what + ": " + errno_text(errno));
 }
 
 void close_quietly(int& fd) {
@@ -382,7 +397,7 @@ void ClassifyServer::dispatch_next(Connection& conn) {
       const std::uint64_t id = conn.id;
       const Wire wire = conn.session.wire();
       {
-        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        const MutexLock lock(completions_mutex_);
         ++in_flight_;
       }
       workers_->submit(
@@ -396,7 +411,7 @@ void ClassifyServer::dispatch_next(Connection& conn) {
               output = ResponseEncoder(wire).error(kErrInternal, "unexpected server failure");
             }
             {
-              const std::lock_guard<std::mutex> lock(completions_mutex_);
+              const MutexLock lock(completions_mutex_);
               completions_.push_back({id, std::move(output)});
               --in_flight_;
             }
@@ -414,7 +429,7 @@ void ClassifyServer::dispatch_next(Connection& conn) {
 void ClassifyServer::drain_completions() {
   std::vector<Completion> done;
   {
-    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    const MutexLock lock(completions_mutex_);
     done.swap(completions_);
   }
   for (Completion& completion : done) {
@@ -487,8 +502,8 @@ void ClassifyServer::shutdown_loop() {
   }
   conns_.clear();
   {
-    std::unique_lock<std::mutex> lock(completions_mutex_);
-    completions_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(completions_mutex_);
+    while (in_flight_ != 0) completions_cv_.wait(lock);
     completions_.clear();
   }
   workers_.reset();  // joins the pool

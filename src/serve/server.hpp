@@ -18,20 +18,20 @@
 // through a mutex-guarded completion queue + eventfd wakeup. Requests
 // pipelined on one connection are answered strictly in order; different
 // connections classify concurrently across the pool. The registry is
-// immutable while serving, so workers share it without locks.
+// internally synchronized and its entries immutable once registered, so
+// workers resolve and classify against it concurrently.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "serve/registry.hpp"
 
@@ -70,8 +70,9 @@ struct ServeConfig {
 
 class ClassifyServer {
  public:
-  /// The registry must outlive the server and must not be mutated while
-  /// run() is live (it is shared, unlocked, across worker threads).
+  /// The registry must outlive the server. It is internally synchronized
+  /// (and entries are immutable once registered), so new models may be
+  /// added concurrently while run() is live; the server itself only reads.
   ClassifyServer(const ModelRegistry& registry, ServeConfig config);
   ~ClassifyServer();
 
@@ -123,13 +124,13 @@ class ClassifyServer {
   /// epoll). May destroy `conn`; callers must not touch it afterwards.
   void finish_io(Connection& conn);
   void enqueue_events(Connection& conn, std::vector<WireEvent> events);
-  void dispatch_next(Connection& conn);
+  void dispatch_next(Connection& conn) PULPHD_EXCLUDES(completions_mutex_);
   bool flush_output(Connection& conn);  ///< false when the peer is gone
   void update_interest(Connection& conn);
   void close_connection(Connection& conn);
-  void drain_completions();
+  void drain_completions() PULPHD_EXCLUDES(completions_mutex_);
   int idle_sweep_timeout_ms();
-  void shutdown_loop();
+  void shutdown_loop() PULPHD_EXCLUDES(completions_mutex_);
 
   const ModelRegistry& registry_;
   ServeConfig config_;
@@ -140,7 +141,11 @@ class ClassifyServer {
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
 
-  // Loop-thread-only state.
+  // Loop-thread-only state: confined to the run() thread (bind_and_listen
+  // and the constructor run strictly before it), never locked. The worker
+  // pool only ever sees a connection's integer id, so nothing here is
+  // shared — the thread-safety analysis guards the genuinely shared state
+  // below instead.
   int epoll_fd_ = -1;
   int completion_fd_ = -1;  ///< eventfd the workers signal completions on
   std::uint64_t next_conn_id_ = 16;
@@ -150,10 +155,10 @@ class ClassifyServer {
   // Worker → loop handoff: results queue up under the mutex, the eventfd
   // wakes the loop, and `in_flight_` lets shutdown wait for every worker
   // to finish before the pool is destroyed.
-  std::mutex completions_mutex_;
-  std::condition_variable completions_cv_;
-  std::vector<Completion> completions_;
-  std::size_t in_flight_ = 0;
+  Mutex completions_mutex_;
+  CondVar completions_cv_;  ///< signalled whenever a worker finishes
+  std::vector<Completion> completions_ PULPHD_GUARDED_BY(completions_mutex_);
+  std::size_t in_flight_ PULPHD_GUARDED_BY(completions_mutex_) = 0;
 };
 
 }  // namespace pulphd::serve

@@ -1,0 +1,82 @@
+// Replays the checked-in fuzz seed corpora (fuzz/corpus/*) through the
+// shared harness entry points as part of the ordinary test suite, so every
+// corpus input — including minimized crash reproducers checked in when a
+// fuzzer finds a bug — stays exercised by any toolchain, not just the
+// Clang/libFuzzer CI job. PULPHD_CORPUS_DIR is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fuzz/harness.hpp"
+#include "serve/protocol.hpp"
+
+namespace pulphd::fuzz {
+namespace {
+
+using OneInput = int (*)(const std::uint8_t*, std::size_t);
+
+std::vector<std::filesystem::path> corpus_files(const std::string& name) {
+  const std::filesystem::path dir = std::filesystem::path(PULPHD_CORPUS_DIR) / name;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void replay_corpus(const std::string& name, OneInput entry) {
+  const std::vector<std::filesystem::path> files = corpus_files(name);
+  ASSERT_FALSE(files.empty()) << "empty corpus directory: " << name;
+  for (const std::filesystem::path& path : files) {
+    SCOPED_TRACE(path.string());
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "cannot open " << path;
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    EXPECT_EQ(entry(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()), 0);
+  }
+}
+
+TEST(FuzzRegression, Phd1Corpus) { replay_corpus("phd1", phd1_one_input); }
+TEST(FuzzRegression, Phd2Corpus) { replay_corpus("phd2", phd2_one_input); }
+TEST(FuzzRegression, ModelCorpus) { replay_corpus("model", model_load_one_input); }
+
+// Regression for a defect the phd2 harness design shook out: the client-side
+// results decoder reserved `classes` distance slots straight from a wire
+// u32, so a corrupt frame declaring classes=0xFFFFFFFF attempted a
+// multi-gigabyte allocation before the bounds-checked reads could reject
+// it. The reserve is now capped by the bytes actually left in the frame;
+// the frame must die as a CodedError, never a bad_alloc.
+TEST(FuzzRegression, HugeDeclaredClassCountIsABadFrameNotABadAlloc) {
+  std::string payload;
+  payload += static_cast<char>(serve::kFrameResults);
+  payload += static_cast<char>(5);  // model-name length
+  payload += "subj1";
+  const auto put_u32 = [&payload](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) payload += static_cast<char>((v >> (8 * i)) & 0xFF);
+  };
+  put_u32(1);           // result count
+  put_u32(2);           // label
+  put_u32(11);          // winner distance
+  put_u32(0xFFFFFFFF);  // declared class count; no distance bytes follow
+
+  std::string wire;
+  for (int i = 0; i < 4; ++i) {
+    wire += static_cast<char>((payload.size() >> (8 * i)) & 0xFF);
+  }
+  wire += payload;
+
+  serve::BinaryResponseParser parser;
+  parser.feed(wire);
+  EXPECT_THROW((void)parser.next(), CodedError);
+}
+
+}  // namespace
+}  // namespace pulphd::fuzz

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/status.hpp"
 #include "hd/serialization.hpp"
@@ -157,6 +160,46 @@ TEST(ModelRegistry, InfosMatchRegistrationOrderAndDefault) {
   EXPECT_EQ(infos[0].channels, 4u);
   EXPECT_EQ(infos[0].classes, 3u);
   EXPECT_EQ(infos[0].ngram, 1u);
+}
+
+// The registry is internally synchronized: concurrent add() with
+// resolve()/infos()/size()/default_name() readers must be race-free (this
+// is what the TSan CI job checks) and entries handed out by resolve() stay
+// valid while later registrations grow the registry.
+TEST(ModelRegistry, ConcurrentAddAndResolveAreRaceFree) {
+  ModelRegistry registry;
+  registry.add("seed", tiny_classifier(99));
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&registry, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::string name = "w";
+        name += std::to_string(w);
+        name += '.';
+        name += std::to_string(i);
+        registry.add(name, tiny_classifier(static_cast<std::uint64_t>(w * 100 + i)));
+      }
+    });
+  }
+  std::atomic<int> resolved{0};
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&registry, &resolved] {
+      for (int i = 0; i < 100; ++i) {
+        const ModelEntry& entry = registry.resolve("seed");
+        if (entry.name == "seed") resolved.fetch_add(1, std::memory_order_relaxed);
+        (void)registry.infos();
+        (void)registry.size();
+        (void)registry.default_name();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(resolved.load(), 200);
+  EXPECT_EQ(registry.size(), 1u + kWriters * kPerWriter);
+  EXPECT_EQ(registry.default_name(), "seed");  // first registration wins
 }
 
 }  // namespace

@@ -12,6 +12,12 @@
    kMaxSamplesPerTrial, kMaxLineBytes, kMaxFrameBytes), the binary
    negotiation magic (kBinaryMagic), and every binary frame-type byte
    (kFrame* hex values) defined in the header appear in the doc.
+4. docs/development.md is in lockstep with the static-analysis config:
+   every clang-tidy check/group enabled in .clang-tidy appears in the
+   doc's check table (and every disabled-within-a-group check in its
+   "disabled" list), and the fuzz targets documented in the doc match
+   the pulphd_add_fuzzer() registrations in fuzz/CMakeLists.txt exactly,
+   in both directions.
 
 Exit code 0 = all good; 1 = findings (printed one per line).
 """
@@ -127,11 +133,65 @@ def check_protocol_lockstep():
     return problems
 
 
+FUZZER_DECL_RE = re.compile(r"pulphd_add_fuzzer\((\w+)\s+\w+\)")
+FUZZ_TARGET_DOC_RE = re.compile(r"`fuzz_(?!replay_)(\w+)`")
+
+
+def tidy_check_lists():
+    """Parses .clang-tidy's Checks value into (enabled, disabled) lists."""
+    text = (REPO / ".clang-tidy").read_text(encoding="utf-8")
+    match = re.search(r"^Checks: >\n((?:  .+\n)+)", text, re.MULTILINE)
+    if not match:
+        return None, None
+    entries = [e.strip() for e in match.group(1).replace("\n", " ").split(",")]
+    entries = [e for e in entries if e and e != "-*"]
+    enabled = [e for e in entries if not e.startswith("-")]
+    disabled = [e[1:] for e in entries if e.startswith("-")]
+    return enabled, disabled
+
+
+def check_development_lockstep():
+    problems = []
+    doc_path = REPO / "docs" / "development.md"
+    if not doc_path.exists():
+        return ["docs/development.md is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+
+    enabled, disabled = tidy_check_lists()
+    if enabled is None:
+        problems.append(".clang-tidy: could not parse the `Checks: >` block")
+    else:
+        for check in enabled:
+            if f"`{check}`" not in doc:
+                problems.append(
+                    f"docs/development.md is missing enabled clang-tidy check `{check}`"
+                )
+        for check in disabled:
+            if f"`{check}`" not in doc:
+                problems.append(
+                    f"docs/development.md never names disabled clang-tidy check `{check}`"
+                )
+
+    cmake = (REPO / "fuzz" / "CMakeLists.txt").read_text(encoding="utf-8")
+    declared = set(FUZZER_DECL_RE.findall(cmake))
+    documented = set(FUZZ_TARGET_DOC_RE.findall(doc))
+    if not declared:
+        problems.append("fuzz/CMakeLists.txt: no pulphd_add_fuzzer() registrations found")
+    for name in sorted(declared - documented):
+        problems.append(f"docs/development.md never documents fuzz target `fuzz_{name}`")
+    for name in sorted(documented - declared):
+        problems.append(
+            f"docs/development.md documents `fuzz_{name}` but fuzz/CMakeLists.txt "
+            "does not register it"
+        )
+    return problems
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cli", help="path to a built pulphd_cli for the help-sync check")
     options = parser.parse_args()
-    problems = check_links() + check_protocol_lockstep()
+    problems = check_links() + check_protocol_lockstep() + check_development_lockstep()
     if options.cli:
         problems += check_cli_help(options.cli)
     for problem in problems:
@@ -139,7 +199,8 @@ def main():
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    checked = "links + protocol lockstep" + (" + CLI help sync" if options.cli else "")
+    checked = "links + protocol lockstep + tidy/fuzz lockstep" + (
+        " + CLI help sync" if options.cli else "")
     print(f"docs OK ({checked})")
     return 0
 

@@ -104,6 +104,7 @@ const char kServeHelp[] =
 
 [[noreturn]] void usage_error(const char* help) {
   std::fputs(help, stderr);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI argument parsing.
   std::exit(2);
 }
 
@@ -141,6 +142,7 @@ Options parse_model_command(int argc, char** argv) {
   if (argc < 3) usage_error(kTopLevelHelp);
   if (is_help_flag(argv[2])) {
     std::fputs(kTopLevelHelp, stdout);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI argument parsing.
     std::exit(0);
   }
   opt.model_path = argv[2];
@@ -148,6 +150,7 @@ Options parse_model_command(int argc, char** argv) {
     const std::string flag = argv[i];
     if (is_help_flag(flag.c_str())) {
       std::fputs(kTopLevelHelp, stdout);
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI argument parsing.
       std::exit(0);
     }
     if (i + 1 >= argc) usage_error(kTopLevelHelp);
@@ -295,6 +298,7 @@ ServeOptions parse_serve(int argc, char** argv) {
     const std::string flag = argv[i];
     if (is_help_flag(flag.c_str())) {
       std::fputs(kServeHelp, stdout);
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI argument parsing.
       std::exit(0);
     }
     if (i + 1 >= argc) usage_error(kServeHelp);
@@ -349,8 +353,7 @@ int cmd_serve(int argc, char** argv) {
   const ServeOptions opt = parse_serve(argc, argv);
   serve::ModelRegistry registry;
   for (const auto& [name, path] : opt.models) {
-    registry.load_file(name, path, opt.threads);
-    const auto& entry = *registry.entries().back();
+    const serve::ModelEntry& entry = registry.load_file(name, path, opt.threads);
     const hd::ClassifierConfig& cfg = entry.classifier.config();
     std::printf("loaded model \"%s\" from %s (dim %zu, %zu channels, %zu classes)\n",
                 entry.name.c_str(), path.c_str(), cfg.dim, cfg.channels, cfg.classes);

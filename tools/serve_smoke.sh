@@ -120,6 +120,46 @@ assert result_model(payloads[3]) == "subj0"       # default routed
 print("binary pipelined burst OK")
 EOF
 
+# Abrupt mid-frame disconnect: a pipelined binary client sends a ping,
+# then the length prefix of a classify frame plus only part of its
+# declared payload, and vanishes without reading a byte. The server must
+# answer what it can, reap the half-dead connection without leaking it,
+# and keep serving other clients as if nothing happened.
+python3 - "$WORK/phd.sock" <<'EOF'
+import socket, struct, sys
+
+def frame(payload):
+    return struct.pack("<I", len(payload)) + payload
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+# Declares an 80-byte classify payload but delivers only 7 bytes of it.
+partial = struct.pack("<I", 80) + b"\x04\x05subj1"
+s.sendall(b"PHD2" + frame(b"\x01") + partial)
+# RST instead of FIN: SO_LINGER(0) aborts the connection, the harshest
+# disconnect shape the event loop can see (recv fails with ECONNRESET).
+s.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
+s.close()
+
+# The daemon must still be fully alive for a fresh, complete session.
+s2 = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s2.connect(sys.argv[1])
+s2.sendall(b"PHD2" + frame(b"\x01") + frame(b"\x03"))
+buf = b""
+while True:
+    chunk = s2.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+types = []
+while buf:
+    (length,) = struct.unpack_from("<I", buf)
+    types.append(buf[4])
+    buf = buf[4 + length:]
+assert types == [0x81, 0x82], [hex(t) for t in types]
+print("mid-frame disconnect survived OK")
+EOF
+
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""
