@@ -20,6 +20,12 @@
 // encoded with the same ResponseEncoder the server uses, so any
 // wire-introduced difference — one float, one byte — fails the run.
 //
+// After the throughput rows, an overload scenario exercises the client
+// retry policy (serve/retry.hpp): a max_connections=1 server refuses the
+// other clients with `err code=overloaded`, and they back off and retry
+// until served. The observed retry counters land in the JSON under
+// "retry" — a degraded run is visible in the artifact, never silent.
+//
 // Flags: --quick (CI smoke: fewer connections/requests), --out=PATH.
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -42,6 +48,7 @@
 #include "common/thread_pool.hpp"
 #include "hd/classifier.hpp"
 #include "serve/registry.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -228,10 +235,105 @@ ServeRow run_load(const std::string& socket_path, bool binary, const std::string
   return row;
 }
 
+// --- overload / retry scenario ---------------------------------------------
+
+/// One request/response exchange on a connection the server may have
+/// already rejected (`err code=overloaded`) and closed: a send or read
+/// torn down by the peer (EPIPE/ECONNRESET) returns false — the same
+/// rejection seen from the other side — and any other failure throws.
+/// Reads until `limit` bytes or EOF, since the rejection line is short.
+bool try_exchange(int fd, std::string_view request, std::size_t limit, std::string& response) {
+  while (!request.empty()) {
+    const ssize_t n = ::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw std::runtime_error("bench_serve: send failed");
+    }
+    request.remove_prefix(static_cast<std::size_t>(n));
+  }
+  response.clear();
+  char chunk[4096];
+  while (response.size() < limit) {
+    const std::size_t want = std::min(sizeof(chunk), limit - response.size());
+    const ssize_t n = ::read(fd, chunk, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;
+      throw std::runtime_error("bench_serve: read failed");
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// `clients` text-mode clients hammer a max_connections=1 server, one
+/// connection per request. Every refusal (`err code=overloaded`) is
+/// retried with capped exponential backoff until served; the returned
+/// stats say how hard the clients had to try.
+serve::RetryStats run_overload(const std::string& socket_path, const std::string& request,
+                               const std::string& expected_response, std::size_t clients,
+                               std::size_t requests_per_client) {
+  std::vector<serve::RetryStats> stats(clients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::BackoffPolicy policy;
+        policy.initial = std::chrono::milliseconds(2);
+        policy.cap = std::chrono::milliseconds(50);
+        policy.max_attempts = 200;  // generous: the point is to converge, not give up
+        policy.jitter_seed = 0x9eb1 + c;
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          serve::Backoff backoff(policy);
+          for (;;) {
+            const int fd =
+                serve::connect_unix_retry(socket_path, policy, &stats[c]);
+            std::string response;
+            const bool io_ok = try_exchange(fd, request, expected_response.size(), response);
+            ::close(fd);
+            if (io_ok && response == expected_response) break;
+            // A torn exchange, an empty read (the rejection line was
+            // discarded by the RST) or the rejection line itself all mean
+            // the same thing: the server was at --max-conns. Anything
+            // else is a real divergence.
+            if (io_ok && !response.empty() &&
+                response.rfind("err code=overloaded", 0) != 0) {
+              throw std::runtime_error("bench_serve: unexpected overload-scenario response");
+            }
+            ++stats[c].overloaded_retries;
+            const auto delay = backoff.next_delay();
+            if (!delay) {
+              ++stats[c].give_ups;
+              throw std::runtime_error("bench_serve: overload retry budget exhausted");
+            }
+            std::this_thread::sleep_for(*delay);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "overload client: %s\n", e.what());
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (failures.load() != 0) throw std::runtime_error("bench_serve: overload scenario failed");
+  serve::RetryStats total;
+  for (const serve::RetryStats& s : stats) {
+    total.connect_retries += s.connect_retries;
+    total.overloaded_retries += s.overloaded_retries;
+    total.give_ups += s.give_ups;
+  }
+  return total;
+}
+
 // --- output ----------------------------------------------------------------
 
-void write_json(const std::vector<ServeRow>& rows, const std::string& path, bool quick,
-                std::size_t workers) {
+void write_json(const std::vector<ServeRow>& rows, const serve::RetryStats& retry,
+                const std::string& path, bool quick, std::size_t workers) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("bench_serve: cannot open " + path);
   out << "{\n  \"schema\": \"pulphd-bench-v1\",\n  \"bench\": \"bench_serve\",\n";
@@ -254,7 +356,10 @@ void write_json(const std::vector<ServeRow>& rows, const std::string& path, bool
     std::snprintf(buf, sizeof(buf), "%.3f", r.p99_ms);
     out << ", \"p99_ms\": " << buf << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"retry\": {\"connect_retries\": " << retry.connect_retries
+      << ", \"overloaded_retries\": " << retry.overloaded_retries
+      << ", \"give_ups\": " << retry.give_ups << "}\n}\n";
   if (!out.flush()) throw std::runtime_error("bench_serve: write failed: " + path);
 }
 
@@ -297,7 +402,7 @@ int main(int argc, char** argv) {
   try {
     const std::vector<hd::Trial> trials = bench_trials();
     const std::vector<hd::AmDecision> offline =
-        registry.resolve(kModelName).classifier.predict_batch(trials);
+        registry.resolve(kModelName)->classifier.predict_batch(trials);
 
     // The exact bytes each wire must produce — encoded with the server's
     // own ResponseEncoder, so the comparison is the offline path itself.
@@ -354,7 +459,33 @@ int main(int argc, char** argv) {
     std::printf("binary/text peak throughput: %.2fx (binary %.1f req/s, text %.1f req/s)\n",
                 best_binary / best_text, best_binary, best_text);
 
-    write_json(rows, out_path, quick, resolve_threads(config.workers));
+    // Overload scenario: a capacity-1 server, clients that must retry.
+    serve::ServeConfig overload_config;
+    overload_config.unix_path =
+        "/tmp/pulphd_bench_overload." + std::to_string(::getpid()) + ".sock";
+    overload_config.max_connections = 1;
+    ::unlink(overload_config.unix_path.c_str());
+    serve::ClassifyServer overload_server(registry, overload_config);
+    overload_server.bind_and_listen();
+    std::thread overload_thread([&overload_server] { overload_server.run(); });
+    serve::RetryStats retry;
+    try {
+      retry = run_overload(overload_config.unix_path, text_request, text_expected,
+                           quick ? 2 : 4, quick ? 2 : 4);
+    } catch (...) {
+      overload_server.stop();
+      overload_thread.join();
+      throw;
+    }
+    overload_server.stop();
+    overload_thread.join();
+    std::printf(
+        "overload scenario: %llu overloaded retries, %llu connect retries, %llu give-ups\n",
+        static_cast<unsigned long long>(retry.overloaded_retries),
+        static_cast<unsigned long long>(retry.connect_retries),
+        static_cast<unsigned long long>(retry.give_ups));
+
+    write_json(rows, retry, out_path, quick, resolve_threads(config.workers));
     std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_serve: %s\n", e.what());

@@ -1,8 +1,20 @@
 #include "common/csv.hpp"
 
+#include <unistd.h>
+
 #include <stdexcept>
+#include <utility>
+
+#include "common/io.hpp"
 
 namespace pulphd {
+namespace {
+
+/// add_row flushes once the buffer passes this size, so writes are
+/// amortized while errors still surface near the row that caused them.
+constexpr std::size_t kFlushThresholdBytes = std::size_t{64} << 10;
+
+}  // namespace
 
 std::string csv_escape(const std::string& cell) {
   const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
@@ -17,47 +29,54 @@ std::string csv_escape(const std::string& cell) {
 }
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
-    : out_(path), path_(path), columns_(header.size()) {
-  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path_);
-  for (std::size_t i = 0; i < header.size(); ++i) {
-    out_ << csv_escape(header[i]);
-    if (i + 1 < header.size()) out_ << ',';
+    : path_(path), columns_(header.size()) {
+  try {
+    fd_ = io::open_for_write(path_);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("CsvWriter: ") + e.what());
   }
-  out_ << '\n';
-  check_stream("header write failed");
+  append_line(header);
 }
 
 CsvWriter::~CsvWriter() {
   // Best-effort flush; errors here are invisible (destructors must not
   // throw) — callers that care about durability call flush() explicitly.
-  if (out_.is_open()) out_.flush();
+  if (fd_ >= 0) {
+    try {
+      flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — dtor must not throw
+    }
+    ::close(fd_);
+  }
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& cells) {
   if (cells.size() != columns_) {
     throw std::runtime_error("CsvWriter: column count mismatch writing " + path_);
   }
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    out_ << csv_escape(cells[i]);
-    if (i + 1 < cells.size()) out_ << ',';
-  }
-  out_ << '\n';
-  check_stream("row write failed");
+  append_line(cells);
   ++rows_;
+  if (buffer_.size() >= kFlushThresholdBytes) flush();
 }
 
 void CsvWriter::flush() {
-  out_.flush();
-  check_stream("flush failed");
+  if (buffer_.empty()) return;
+  try {
+    io::write_all(fd_, buffer_.data(), buffer_.size(), path_);
+  } catch (const std::exception& e) {
+    // A full disk or dead descriptor must not silently truncate bench CSVs;
+    // report it with the path and the errno text from the io layer.
+    throw std::runtime_error(std::string("CsvWriter: ") + e.what());
+  }
+  buffer_.clear();
 }
 
-void CsvWriter::check_stream(const char* what) const {
-  // A full disk or closed descriptor poisons the stream state silently; an
-  // unchecked writer would truncate bench CSVs without anyone noticing.
-  if (!out_) {
-    throw std::runtime_error(std::string("CsvWriter: ") + what + " for " + path_ +
-                             " (disk full or file no longer writable?)");
+void CsvWriter::append_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    buffer_ += csv_escape(cells[i]);
+    if (i + 1 < cells.size()) buffer_ += ',';
   }
+  buffer_ += '\n';
 }
 
 }  // namespace pulphd

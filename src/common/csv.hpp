@@ -1,10 +1,14 @@
 // CSV emission for benchmark series (figure reproductions).
 //
 // Each figure bench prints its series to stdout as a table and can also
-// drop a CSV next to the binary so the curves can be re-plotted.
+// drop a CSV next to the binary so the curves can be re-plotted. Writes go
+// through the checked fd wrappers in common/io.hpp, so every failure
+// (disk full, vanished directory, injected failpoint) surfaces as a
+// std::runtime_error naming the path with errno text instead of a
+// silently truncated file.
 #pragma once
 
-#include <fstream>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -12,19 +16,24 @@ namespace pulphd {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing; throws std::runtime_error on failure.
+  /// Opens `path` for writing; throws std::runtime_error (with the path
+  /// and errno text) on failure.
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
   /// Flushes best-effort; call flush() first when write errors must not be
   /// swallowed (destructors cannot throw).
   ~CsvWriter();
 
-  /// Writes one data row. Throws std::runtime_error naming the path when
-  /// the stream enters a failed state (e.g. disk full) — an unchecked
-  /// ofstream would silently truncate the file instead.
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Buffers one data row (flushed once the buffer passes a threshold).
+  /// Throws std::runtime_error naming the path and errno when the flush
+  /// hits a write error (e.g. disk full) — an unchecked writer would
+  /// silently truncate the file instead.
   void add_row(const std::vector<std::string>& cells);
 
-  /// Flushes buffered rows to disk; throws (with the path) on failure.
+  /// Writes buffered rows to the fd; throws (path + errno text) on failure.
   void flush();
 
   /// Number of data rows written so far.
@@ -33,9 +42,10 @@ class CsvWriter {
   const std::string& path() const noexcept { return path_; }
 
  private:
-  void check_stream(const char* what) const;
+  void append_line(const std::vector<std::string>& cells);
 
-  std::ofstream out_;
+  int fd_ = -1;
+  std::string buffer_;
   std::string path_;
   std::size_t columns_;
   std::size_t rows_ = 0;

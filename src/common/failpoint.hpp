@@ -1,0 +1,91 @@
+// Failpoints — named fault-injection points for reliability testing.
+//
+// Production code probes a failpoint at every spot where the environment
+// can betray it (a write hitting ENOSPC, accept running out of fds) and the
+// chaos tests / CI sweeps arm those points to force the failure on demand:
+//
+//   PULPHD_FAILPOINTS="io.write=err(ENOSPC):p=0.1,serve.accept=err(EMFILE):once"
+//
+// The points are compiled in always — there is no build flavor where the
+// error-handling paths stop being reachable — but the unarmed probe is one
+// relaxed atomic load, so the serving hot path pays nothing until a test
+// arms a point. Spec grammar (comma-separated entries):
+//
+//   name=action[:trigger]
+//   action  := err(ERRNO)        fail with that errno (token like ENOSPC,
+//                                or a decimal value)
+//            | short(N)          let N bytes through, then fail with ENOSPC
+//                                (torn-write model; io.write only)
+//            | stall(MS)         sleep MS milliseconds, then proceed
+//                                normally (crash-window widener)
+//   trigger := once | times=N | p=0.5        (default: every evaluation)
+//
+// Point names are closed-world: configure() rejects a name that is not in
+// the compiled-in registry (kRegisteredFailpoints in failpoint.cpp), so a
+// typo in a CI sweep fails loudly instead of silently injecting nothing.
+// tools/check_docs.py keeps docs/operations.md in lockstep with that
+// registry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pulphd::failpoint {
+
+/// What an armed failpoint asks the probing call site to do. kStall is
+/// handled inside evaluate() itself (it sleeps, then reports kNone), so
+/// call sites only ever see kNone, kError, or kShortWrite.
+struct Injection {
+  enum class Kind : std::uint8_t { kNone, kError, kShortWrite, kStall };
+  Kind kind = Kind::kNone;
+  /// errno to fail with (kError, and after the allowance of kShortWrite).
+  int error = 0;
+  /// Bytes to let through before failing (kShortWrite).
+  std::size_t bytes = 0;
+  /// Milliseconds to sleep (kStall; consumed inside evaluate()).
+  std::uint32_t stall_ms = 0;
+
+  explicit operator bool() const noexcept { return kind != Kind::kNone; }
+};
+
+namespace detail {
+/// Number of armed points; 0 keeps evaluate() on the one-load fast path.
+extern std::atomic<int> g_active;
+Injection evaluate_active(std::string_view name) noexcept;
+}  // namespace detail
+
+/// Probes the failpoint `name`. Returns the injection to perform (kNone
+/// when unarmed, disarmed by its trigger, or a stall that already slept).
+/// The unarmed cost is a single relaxed atomic load.
+inline Injection evaluate(std::string_view name) noexcept {
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return {};
+  return detail::evaluate_active(name);
+}
+
+/// Environment variable configure_from_env() reads.
+inline constexpr const char* kEnvVar = "PULPHD_FAILPOINTS";
+
+/// Arms failpoints from a spec string (grammar above). Replaces the whole
+/// active configuration. Throws std::runtime_error on a malformed spec or
+/// an unregistered point name. An empty spec is equivalent to clear().
+void configure(const std::string& spec);
+
+/// Arms failpoints from $PULPHD_FAILPOINTS when set (tools call this once
+/// at startup; the library never reads the environment on its own).
+void configure_from_env();
+
+/// Disarms every failpoint and resets trip counters.
+void clear() noexcept;
+
+/// All point names production code may probe, in registration order.
+std::vector<std::string_view> registered_names();
+
+/// How many times `name` actually fired (injected an error, ate bytes, or
+/// slept) since the last configure()/clear().
+std::uint64_t trip_count(std::string_view name) noexcept;
+
+}  // namespace pulphd::failpoint

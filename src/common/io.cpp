@@ -1,0 +1,126 @@
+#include "common/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/failpoint.hpp"
+
+namespace pulphd::io {
+namespace {
+
+[[noreturn]] void throw_io(const char* op, const std::string& path, int err) {
+  throw std::runtime_error(std::string(op) + " " + path + ": " + errno_text(err));
+}
+
+/// Probes an io.* failpoint; a kError injection fails the call as if the
+/// syscall itself had returned that errno.
+void check_point(std::string_view point, const char* op, const std::string& path) {
+  const failpoint::Injection inj = failpoint::evaluate(point);
+  if (inj.kind == failpoint::Injection::Kind::kError) throw_io(op, path, inj.error);
+}
+
+}  // namespace
+
+std::string errno_text(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns the message (buf only backs unknown codes).
+  const std::string text = ::strerror_r(err, buf, sizeof(buf));
+#else
+  std::string text;
+  if (::strerror_r(err, buf, sizeof(buf)) != 0) {
+    text = "unknown error";
+  } else {
+    text = buf;
+  }
+#endif
+  return text + " (errno " + std::to_string(err) + ")";
+}
+
+int open_for_write(const std::string& path) {
+  check_point("io.open", "open", path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_io("open", path, errno);
+  return fd;
+}
+
+void write_all(int fd, const void* data, std::size_t len, const std::string& path) {
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t allowance = len;
+  const failpoint::Injection inj = failpoint::evaluate("io.write");
+  if (inj.kind == failpoint::Injection::Kind::kError) throw_io("write", path, inj.error);
+  if (inj.kind == failpoint::Injection::Kind::kShortWrite) {
+    allowance = inj.bytes < len ? inj.bytes : len;
+  }
+  std::size_t written = 0;
+  while (written < allowance) {
+    const ssize_t n = ::write(fd, cursor + written, allowance - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write", path, errno);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The short-write allowance is exhausted but the caller had more: fail
+  // exactly as a full disk would after a partial write.
+  if (allowance < len) throw_io("write", path, inj.error);
+}
+
+void fsync_fd(int fd, const std::string& path) {
+  check_point("io.fsync", "fsync", path);
+  if (::fsync(fd) != 0) throw_io("fsync", path, errno);
+}
+
+void close_fd(int fd, const std::string& path) {
+  check_point("io.close", "close", path);
+  if (::close(fd) != 0) throw_io("close", path, errno);
+}
+
+void rename_path(const std::string& from, const std::string& to) {
+  check_point("io.rename", "rename", from + " -> " + to);
+  if (::rename(from.c_str(), to.c_str()) != 0) throw_io("rename", from + " -> " + to, errno);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  check_point("io.fsync", "fsync directory", dir);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_io("open directory", dir, errno);
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_io("fsync directory", dir, err);
+  }
+  ::close(fd);
+}
+
+std::string temp_sibling(const std::string& path) { return path + ".tmp"; }
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = temp_sibling(path);
+  // A crash between a previous write and its rename leaves an orphan temp;
+  // it is dead weight, never loadable under `path`, and replaced here.
+  ::unlink(tmp.c_str());
+  int fd = open_for_write(tmp);
+  try {
+    write_all(fd, contents.data(), contents.size(), tmp);
+    fsync_fd(fd, tmp);
+    close_fd(fd, tmp);
+    fd = -1;
+    rename_path(tmp, path);
+    fsync_parent_dir(path);
+  } catch (...) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace pulphd::io

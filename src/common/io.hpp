@@ -1,0 +1,59 @@
+// Checked file I/O — the only road to disk for data files.
+//
+// Every wrapper routes through a failpoint named "io.<op>" (see
+// common/failpoint.hpp) and throws std::runtime_error carrying the
+// operation, the path, and thread-safe errno text on failure, so
+// serialization, CSV emission, and the server share one error style and
+// one injection surface for chaos testing.
+//
+// atomic_write_file() is the crash-safe publication primitive: contents
+// land under a temp sibling first and only an atomic rename exposes them,
+// fsynced at every step, so a crash at ANY point leaves either the old
+// complete file or the new complete file — never a torn one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace pulphd::io {
+
+/// Thread-safe strerror: "No space left on device (errno 28)". Safe from
+/// worker threads (std::strerror shares one static buffer; this does not).
+std::string errno_text(int err);
+
+/// open(2) O_WRONLY|O_CREAT|O_TRUNC|O_CLOEXEC, mode 0644. Returns the fd.
+int open_for_write(const std::string& path);
+
+/// write(2) until the whole buffer is on the fd (EINTR retried). An
+/// injected short(N) failpoint lets N bytes through, then fails — the
+/// torn-write model the atomic_write_file tests rely on.
+void write_all(int fd, const void* data, std::size_t len, const std::string& path);
+
+/// fsync(2).
+void fsync_fd(int fd, const std::string& path);
+
+/// close(2). Error-path cleanup should use ::close directly instead —
+/// this throws, and double-throwing from a catch block is fatal.
+void close_fd(int fd, const std::string& path);
+
+/// rename(2) `from` -> `to`.
+void rename_path(const std::string& from, const std::string& to);
+
+/// Opens `path`'s parent directory and fsyncs it, making a completed
+/// rename durable against power loss (probes the "io.fsync" point).
+void fsync_parent_dir(const std::string& path);
+
+/// The temp sibling atomic_write_file stages under: "<path>.tmp". Exposed
+/// so loaders and tools can recognise (and ignore) orphans a crash left
+/// behind; the next atomic_write_file to the same path removes them.
+std::string temp_sibling(const std::string& path);
+
+/// Crash-safe whole-file replacement: removes a stale temp sibling, writes
+/// `contents` to a fresh one, fsyncs it, renames it over `path`, and
+/// fsyncs the parent directory. On any failure the temp is removed and the
+/// previous `path` contents (if any) are untouched. Throws
+/// std::runtime_error with path + errno text.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace pulphd::io

@@ -4,8 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/io.hpp"
 #include "common/status.hpp"
 
 namespace pulphd::hd {
@@ -100,9 +102,19 @@ void save_model(const HdClassifier& clf, std::ostream& out, const std::string& n
 }
 
 void save_model_file(const HdClassifier& clf, const std::string& path, const std::string& name) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
-  save_model(clf, out, name);
+  // Serialize fully in memory, then publish crash-safely: the bytes land
+  // under a temp sibling and only an fsynced rename exposes them, so a
+  // crash (or injected ENOSPC/EIO/short write) at any point leaves either
+  // the previous complete checkpoint or the new one — never a torn file.
+  // A leftover "<path>.tmp" orphan is inert: loaders only ever open `path`,
+  // and the next save removes it.
+  std::ostringstream buf(std::ios::binary);
+  save_model(clf, buf, name);
+  try {
+    io::atomic_write_file(path, buf.view());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("save_model_file: ") + e.what());
+  }
 }
 
 ClassifierModel load_model(std::istream& in) {

@@ -46,6 +46,13 @@ bool is_valid_model_name(const std::string& name);
 /// model name (must satisfy is_valid_model_name; empty = unnamed).
 /// Throws std::runtime_error on stream failure or an invalid name.
 void save_model(const HdClassifier& clf, std::ostream& out, const std::string& name = "");
+
+/// Crash-safe checkpoint: serializes in memory, then atomically publishes
+/// via io::atomic_write_file (temp sibling -> fsync -> rename -> directory
+/// fsync). A crash or I/O failure mid-save never leaves a torn model at
+/// `path` — at worst an inert "<path>.tmp" orphan that the next save
+/// removes and no loader ever opens. Failures throw std::runtime_error
+/// with the path and errno text.
 void save_model_file(const HdClassifier& clf, const std::string& path,
                      const std::string& name = "");
 

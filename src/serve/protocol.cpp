@@ -216,6 +216,17 @@ Request decode_classify_payload(PayloadReader& reader) {
   return Request{std::move(request)};
 }
 
+Request decode_reload_payload(PayloadReader& reader) {
+  ReloadRequest request;
+  const std::uint8_t name_len = reader.u8("reload model-name length");
+  request.model = std::string(reader.bytes(name_len, "reload model name"));
+  if (name_len > 0 && !hd::is_valid_model_name(request.model)) {
+    fail(kErrBadRequest, "invalid model name \"" + request.model + "\"");
+  }
+  reader.expect_exhausted("reload");
+  return Request{std::move(request)};
+}
+
 Request decode_request_payload(std::string_view payload) {
   if (payload.empty()) fail(kErrBadRequest, "empty frame (no type byte)");
   PayloadReader reader(payload);
@@ -232,6 +243,8 @@ Request decode_request_payload(std::string_view payload) {
       return Request{QuitRequest{}};
     case kFrameClassify:
       return decode_classify_payload(reader);
+    case kFrameReload:
+      return decode_reload_payload(reader);
     default:
       fail(kErrBadRequest,
            "unknown request frame type " + std::to_string(static_cast<unsigned>(type)));
@@ -285,6 +298,20 @@ std::optional<Request> RequestParser::consume_header(std::string_view line) {
     if (command == "ping") return Request{PingRequest{}};
     if (command == "models") return Request{ModelsRequest{}};
     return Request{QuitRequest{}};
+  }
+  if (command == "reload") {
+    ReloadRequest request;
+    std::string_view token = next_token(rest);
+    if (!token.empty()) {
+      request.model = std::string(expect_kv(token, "model"));
+      if (!hd::is_valid_model_name(request.model)) {
+        fail(kErrBadRequest, "invalid model name \"" + request.model + "\"");
+      }
+      if (!next_token(rest).empty()) {
+        fail(kErrBadRequest, "unexpected trailing fields after model=");
+      }
+    }
+    return Request{std::move(request)};
   }
   if (command != "classify") {
     fail(kErrBadRequest, "unknown command \"" + std::string(command) + "\"");
@@ -375,6 +402,20 @@ std::string format_classify_response(const std::string& model,
     for (std::size_t i = 0; i < d.distances.size(); ++i) {
       if (i > 0) out += ',';
       out += std::to_string(d.distances[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_reload_response(std::span<const ReloadStatus> statuses) {
+  std::string out = "ok reload count=" + std::to_string(statuses.size()) + "\n";
+  for (const ReloadStatus& s : statuses) {
+    out += "reload model=" + s.name + " ok=" + (s.ok ? "1" : "0");
+    if (!s.message.empty()) {
+      out += " msg=";
+      // Keep the row a single line, like format_error.
+      for (const char c : s.message) out += (c == '\n' || c == '\r') ? ' ' : c;
     }
     out += '\n';
   }
@@ -500,6 +541,23 @@ std::string ResponseEncoder::classify(const std::string& model,
   return frame(std::move(payload));
 }
 
+std::string ResponseEncoder::reload(std::span<const ReloadStatus> statuses) const {
+  if (wire_ == Wire::kText) return format_reload_response(statuses);
+  std::string payload;
+  put_u8(payload, kFrameReloadResult);
+  put_u32(payload, static_cast<std::uint32_t>(statuses.size()));
+  for (const ReloadStatus& s : statuses) {
+    put_u8(payload, static_cast<std::uint8_t>(s.name.size()));
+    payload += s.name;
+    put_u8(payload, s.ok ? 1 : 0);
+    const std::size_t msg_len =
+        std::min<std::size_t>(s.message.size(), std::numeric_limits<std::uint16_t>::max());
+    put_u16(payload, static_cast<std::uint16_t>(msg_len));
+    payload.append(s.message.data(), msg_len);
+  }
+  return frame(std::move(payload));
+}
+
 std::string ResponseEncoder::error(std::string_view code, std::string_view message,
                                    bool fatal) const {
   if (wire_ == Wire::kText) return format_error(code, message);
@@ -518,6 +576,14 @@ std::string ResponseEncoder::error(std::string_view code, std::string_view messa
 std::string format_binary_command(std::uint8_t type) {
   std::string payload;
   put_u8(payload, type);
+  return frame(std::move(payload));
+}
+
+std::string format_binary_reload_request(const std::string& model) {
+  std::string payload;
+  put_u8(payload, kFrameReload);
+  put_u8(payload, static_cast<std::uint8_t>(model.size()));
+  payload += model;
   return frame(std::move(payload));
 }
 
@@ -587,6 +653,19 @@ std::optional<BinaryResponse> BinaryResponseParser::next() {
           decision.distances.push_back(reader.u32("result distances"));
         }
         response.decisions.push_back(std::move(decision));
+      }
+      break;
+    }
+    case kFrameReloadResult: {
+      const std::uint32_t count = reader.u32("reload count");
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ReloadStatus status;
+        status.name =
+            std::string(reader.bytes(reader.u8("reload model-name length"), "reload model name"));
+        status.ok = reader.u8("reload ok flag") != 0;
+        status.message =
+            std::string(reader.bytes(reader.u16("reload message length"), "reload message"));
+        response.reloads.push_back(std::move(status));
       }
       break;
     }

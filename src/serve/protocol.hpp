@@ -19,10 +19,11 @@
 // Grammar (one request per line group; lines end in LF, a trailing CR is
 // tolerated):
 //
-//   request   = ping / models / quit / classify
+//   request   = ping / models / quit / reload / classify
 //   ping      = "phd1 ping"
 //   models    = "phd1 models"
 //   quit      = "phd1 quit"
+//   reload    = "phd1 reload" [" model=" name]   ; no name = every model
 //   classify  = "phd1 classify" [" model=" name] " trials=" K   ; K >= 1
 //               K * trial
 //   trial     = "trial samples=" S                              ; S >= 1
@@ -38,6 +39,8 @@
 //         " ngram=" G " default=" ("0"/"1")
 //   "ok classify model=" name " results=" K
 //     K * "result label=" L " distance=" D " distances=" d0 "," d1 ...
+//   "ok reload count=" N
+//     N * "reload model=" name " ok=" ("0"/"1") [" msg=" text]
 //   "err code=" code " msg=" text-to-end-of-line
 //
 // Error codes are the stable machine-readable contract (messages are not):
@@ -49,6 +52,8 @@
 //   overloaded           server at its connection cap; sent once at accept
 //                        time (always as a text line — the connection
 //                        never got to negotiate) before an immediate close
+//   timeout              request sat queued past the server's
+//                        --request-timeout deadline and was shed unrun
 //   internal             unexpected server-side failure
 #pragma once
 
@@ -102,10 +107,12 @@ inline constexpr std::uint8_t kFramePing = 0x01;
 inline constexpr std::uint8_t kFrameModels = 0x02;
 inline constexpr std::uint8_t kFrameQuit = 0x03;
 inline constexpr std::uint8_t kFrameClassify = 0x04;
+inline constexpr std::uint8_t kFrameReload = 0x05;
 inline constexpr std::uint8_t kFramePong = 0x81;
 inline constexpr std::uint8_t kFrameBye = 0x82;
 inline constexpr std::uint8_t kFrameModelList = 0x83;
 inline constexpr std::uint8_t kFrameResults = 0x84;
+inline constexpr std::uint8_t kFrameReloadResult = 0x85;
 inline constexpr std::uint8_t kFrameError = 0xEE;
 
 /// Stable error-code tokens (see the header comment and docs/protocol.md).
@@ -115,6 +122,7 @@ inline constexpr std::string_view kErrTooLarge = "too-large";
 inline constexpr std::string_view kErrUnknownModel = "unknown-model";
 inline constexpr std::string_view kErrBadTrial = "bad-trial";
 inline constexpr std::string_view kErrOverloaded = "overloaded";
+inline constexpr std::string_view kErrTimeout = "timeout";
 inline constexpr std::string_view kErrInternal = "internal";
 
 struct PingRequest {};
@@ -124,8 +132,15 @@ struct ClassifyRequest {
   std::string model;              ///< empty = route to the registry default
   std::vector<hd::Trial> trials;  ///< >= 1 trials, each >= 1 samples
 };
+/// Admin request: re-load model(s) from their source files. A failed
+/// reload is reported per-model in the response and never interrupts
+/// serving — the previous model keeps answering.
+struct ReloadRequest {
+  std::string model;  ///< empty = reload every registered model
+};
 
-using Request = std::variant<PingRequest, ModelsRequest, QuitRequest, ClassifyRequest>;
+using Request =
+    std::variant<PingRequest, ModelsRequest, QuitRequest, ClassifyRequest, ReloadRequest>;
 
 /// Incremental (push) request parser: feed protocol lines one at a time;
 /// a completed request pops out once its last line is consumed. Decoupled
@@ -198,6 +213,16 @@ class BinaryRequestParser {
   bool framing_lost_ = false;
 };
 
+/// Outcome of reloading one model, as carried by the `reload` response
+/// (ModelRegistry::reload produces these).
+struct ReloadStatus {
+  std::string name;
+  bool ok = false;
+  /// Failure detail ("" on success). On failure the previously published
+  /// model is untouched and keeps serving.
+  std::string message;
+};
+
 /// Registry-facing model description used by the `models` response.
 struct ModelInfo {
   std::string name;
@@ -222,6 +247,7 @@ class ResponseEncoder {
   std::string bye() const;
   std::string models(std::span<const ModelInfo> models) const;
   std::string classify(const std::string& model, std::span<const hd::AmDecision> decisions) const;
+  std::string reload(std::span<const ReloadStatus> statuses) const;
   /// `fatal` marks errors after which the server closes the connection;
   /// phd2 carries it as an explicit flag byte, phd1 implies it from the
   /// error class (see docs/protocol.md).
@@ -298,6 +324,7 @@ std::string format_models_response(std::span<const ModelInfo> models);
 /// empty: default routing reports the default's real name).
 std::string format_classify_response(const std::string& model,
                                      std::span<const hd::AmDecision> decisions);
+std::string format_reload_response(std::span<const ReloadStatus> statuses);
 /// Newlines in `message` are flattened to spaces so the response stays one
 /// frame; `code` must be a single token.
 std::string format_error(std::string_view code, std::string_view message);
@@ -321,6 +348,9 @@ hd::AmDecision parse_result_line(std::string_view line);
 /// kFrameQuit). The caller still sends kBinaryMagic once, first.
 std::string format_binary_command(std::uint8_t type);
 
+/// A binary reload request frame ("" = reload every model).
+std::string format_binary_reload_request(const std::string& model);
+
 /// A complete binary classify request frame. Samples travel as raw
 /// float32 little-endian bits — no text round-trip at all, so bit-exact
 /// by construction.
@@ -334,6 +364,7 @@ struct BinaryResponse {
   std::string model;                      ///< kFrameResults
   std::vector<hd::AmDecision> decisions;  ///< kFrameResults
   std::vector<ModelInfo> models;          ///< kFrameModelList
+  std::vector<ReloadStatus> reloads;      ///< kFrameReloadResult
   std::string error_code;                 ///< kFrameError
   std::string error_message;              ///< kFrameError
   bool fatal = false;                     ///< kFrameError: connection drops after it

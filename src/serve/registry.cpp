@@ -7,32 +7,54 @@
 #include "hd/serialization.hpp"
 
 namespace pulphd::serve {
+namespace {
 
-const ModelEntry* ModelRegistry::find_locked(const std::string& name) const {
-  for (const auto& entry : entries_) {
-    if (entry->name == name) return entry.get();
+/// Builds the ready-to-route entry a load_file/reload publishes. Pure
+/// function of the file contents — called with no registry lock held.
+ModelSnapshot entry_from_file(const std::string& name, const std::string& path,
+                              std::size_t threads) {
+  const hd::ClassifierModel model = hd::load_model_file(path);
+  hd::HdClassifier classifier = hd::classifier_from_model(model);
+  classifier.set_threads(threads);
+  return std::make_shared<const ModelEntry>(ModelEntry{name, std::move(classifier), path});
+}
+
+}  // namespace
+
+ModelRegistry::Slot* ModelRegistry::find_locked(const std::string& name) {
+  for (Slot& slot : slots_) {
+    if (slot.name == name) return &slot;
   }
   return nullptr;
 }
 
-const ModelEntry& ModelRegistry::add(const std::string& name, hd::HdClassifier classifier,
-                                     std::string source_path) {
+const ModelRegistry::Slot* ModelRegistry::find_locked(const std::string& name) const {
+  for (const Slot& slot : slots_) {
+    if (slot.name == name) return &slot;
+  }
+  return nullptr;
+}
+
+ModelSnapshot ModelRegistry::add(const std::string& name, hd::HdClassifier classifier,
+                                 std::string source_path) {
   if (!hd::is_valid_model_name(name)) {
     throw std::runtime_error("ModelRegistry: invalid model name \"" + name +
                              "\" (want 1..64 chars of [A-Za-z0-9._-])");
   }
+  auto entry = std::make_shared<const ModelEntry>(
+      ModelEntry{name, std::move(classifier), std::move(source_path)});
+  const std::size_t threads = entry->classifier.config().threads;
   const MutexLock lock(mutex_);
   if (find_locked(name) != nullptr) {
     throw std::runtime_error("ModelRegistry: duplicate model name \"" + name + "\"");
   }
-  entries_.push_back(std::make_unique<ModelEntry>(
-      ModelEntry{name, std::move(classifier), std::move(source_path)}));
+  slots_.push_back(Slot{name, entry, threads});
   if (default_name_.empty()) default_name_ = name;
-  return *entries_.back();
+  return entry;
 }
 
-const ModelEntry& ModelRegistry::load_file(const std::string& name, const std::string& path,
-                                           std::size_t threads) {
+ModelSnapshot ModelRegistry::load_file(const std::string& name, const std::string& path,
+                                       std::size_t threads) {
   hd::ClassifierModel model;
   try {
     model = hd::load_model_file(path);
@@ -68,33 +90,81 @@ void ModelRegistry::set_default(const std::string& name) {
   default_name_ = name;
 }
 
-const ModelEntry& ModelRegistry::resolve(const std::string& name) const {
+ModelSnapshot ModelRegistry::resolve(const std::string& name) const {
   const MutexLock lock(mutex_);
-  if (entries_.empty()) {
+  if (slots_.empty()) {
     throw CodedError(std::string(kErrUnknownModel), "no models are registered");
   }
   const std::string& wanted = name.empty() ? default_name_ : name;
-  const ModelEntry* entry = find_locked(wanted);
-  if (entry == nullptr) {
+  const Slot* slot = find_locked(wanted);
+  if (slot == nullptr) {
     std::string known;
-    for (const auto& e : entries_) {
+    for (const Slot& s : slots_) {
       if (!known.empty()) known += ", ";
-      known += e->name;
+      known += s.name;
     }
     throw CodedError(std::string(kErrUnknownModel),
                      "unknown model \"" + wanted + "\" (registered: " + known + ")");
   }
-  return *entry;
+  return slot->current;
+}
+
+ReloadStatus ModelRegistry::reload(const std::string& name) {
+  std::string path;
+  std::size_t threads = 1;
+  {
+    const MutexLock lock(mutex_);
+    const Slot* slot = find_locked(name);
+    if (slot == nullptr) {
+      return ReloadStatus{name, false, "unknown model \"" + name + "\""};
+    }
+    path = slot->current->source_path;
+    threads = slot->threads;
+  }
+  if (path.empty()) {
+    return ReloadStatus{name, false,
+                        "model \"" + name + "\" was registered in memory; no file to reload"};
+  }
+  // Disk read + classifier rebuild run with no lock held: a slow or
+  // failing reload must never stall resolve() on the classify path.
+  ModelSnapshot fresh;
+  try {
+    fresh = entry_from_file(name, path, threads);
+  } catch (const std::exception& e) {
+    // The previously published snapshot stays in place — readers keep
+    // serving the old model bit-identically.
+    return ReloadStatus{name, false, e.what()};
+  }
+  const MutexLock lock(mutex_);
+  Slot* slot = find_locked(name);
+  if (slot == nullptr) {
+    return ReloadStatus{name, false, "model \"" + name + "\" disappeared during reload"};
+  }
+  slot->current = std::move(fresh);
+  return ReloadStatus{name, true, ""};
+}
+
+std::vector<ReloadStatus> ModelRegistry::reload_all() {
+  std::vector<std::string> names;
+  {
+    const MutexLock lock(mutex_);
+    names.reserve(slots_.size());
+    for (const Slot& slot : slots_) names.push_back(slot.name);
+  }
+  std::vector<ReloadStatus> results;
+  results.reserve(names.size());
+  for (const std::string& name : names) results.push_back(reload(name));
+  return results;
 }
 
 std::size_t ModelRegistry::size() const {
   const MutexLock lock(mutex_);
-  return entries_.size();
+  return slots_.size();
 }
 
 bool ModelRegistry::empty() const {
   const MutexLock lock(mutex_);
-  return entries_.empty();
+  return slots_.empty();
 }
 
 std::string ModelRegistry::default_name() const {
@@ -105,11 +175,11 @@ std::string ModelRegistry::default_name() const {
 std::vector<ModelInfo> ModelRegistry::infos() const {
   const MutexLock lock(mutex_);
   std::vector<ModelInfo> out;
-  out.reserve(entries_.size());
-  for (const auto& entry : entries_) {
-    const hd::ClassifierConfig& cfg = entry->classifier.config();
-    out.push_back(ModelInfo{entry->name, cfg.dim, cfg.channels, cfg.classes, cfg.ngram,
-                            entry->name == default_name_});
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const hd::ClassifierConfig& cfg = slot.current->classifier.config();
+    out.push_back(ModelInfo{slot.name, cfg.dim, cfg.channels, cfg.classes, cfg.ngram,
+                            slot.name == default_name_});
   }
   return out;
 }

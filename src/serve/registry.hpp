@@ -5,14 +5,16 @@
 // done per subject") and routes every classify request by model name, with
 // a configurable default for requests that name none.
 //
-// Concurrency: all mutable state is guarded by an internal mutex (Clang
-// thread-safety annotated), so registration and routing may race freely —
-// the prerequisite for the ROADMAP's hot model lifecycle, where models are
-// added while the server is live. Entries themselves are immutable once
-// registered and their addresses are stable (unique_ptr storage, no
-// removal), so the ModelEntry& returned by resolve()/add()/load_file()
-// stays valid for the registry's lifetime and is read concurrently by the
-// worker pool without any lock.
+// Concurrency / hot lifecycle: each route holds an atomically-published
+// std::shared_ptr<const ModelEntry> snapshot (RCU-style). resolve() takes
+// the internal mutex only long enough to copy that pointer; the worker
+// then classifies against its snapshot entirely lock-free, so a
+// concurrent reload() — which rebuilds the classifier from disk off-lock
+// and swaps the pointer in — never blocks or is blocked by classify
+// traffic. Readers still holding the old snapshot keep it alive until
+// they finish; a failed reload swaps nothing, so the previous model keeps
+// serving bit-identically and the failure is only *reported*, never a
+// serving gap.
 #pragma once
 
 #include <cstddef>
@@ -27,32 +29,36 @@
 namespace pulphd::serve {
 
 /// One registered model: routing name, ready-to-classify classifier, and
-/// the file it came from ("" for models added in memory). Immutable after
-/// registration.
+/// the file it came from ("" for models added in memory). Immutable once
+/// published; reloads publish a fresh entry instead of mutating this one.
 struct ModelEntry {
   std::string name;
   hd::HdClassifier classifier;
   std::string source_path;
 };
 
+/// A reader's view of one model: kept alive for as long as the holder
+/// needs it, regardless of concurrent reloads.
+using ModelSnapshot = std::shared_ptr<const ModelEntry>;
+
 class ModelRegistry {
  public:
-  /// Registers a ready classifier under `name` and returns the stored
-  /// entry (address stable for the registry's lifetime). The first model
-  /// added becomes the default until set_default overrides it. Throws
-  /// std::runtime_error on an invalid name token or a duplicate name.
-  const ModelEntry& add(const std::string& name, hd::HdClassifier classifier,
-                        std::string source_path = "") PULPHD_EXCLUDES(mutex_);
+  /// Registers a ready classifier under `name` and returns its published
+  /// snapshot. The first model added becomes the default until
+  /// set_default overrides it. Throws std::runtime_error on an invalid
+  /// name token or a duplicate name.
+  ModelSnapshot add(const std::string& name, hd::HdClassifier classifier,
+                    std::string source_path = "") PULPHD_EXCLUDES(mutex_);
 
-  /// Loads a serialized model from `path`, registers it and returns the
-  /// stored entry. `name` may be empty, in which case the model's embedded
-  /// name (serialization format v2) is used — an unnamed v1 stream then
-  /// fails with an error telling the operator to pass NAME=PATH. Every
-  /// failure message includes both the model name (when known) and the
-  /// offending path. `threads` is the host-thread knob applied to the
-  /// loaded classifier.
-  const ModelEntry& load_file(const std::string& name, const std::string& path,
-                              std::size_t threads = 1) PULPHD_EXCLUDES(mutex_);
+  /// Loads a serialized model from `path`, registers it and returns its
+  /// published snapshot. `name` may be empty, in which case the model's
+  /// embedded name (serialization format v2) is used — an unnamed v1
+  /// stream then fails with an error telling the operator to pass
+  /// NAME=PATH. Every failure message includes both the model name (when
+  /// known) and the offending path. `threads` is the host-thread knob
+  /// applied to the loaded classifier (and re-applied on reload()).
+  ModelSnapshot load_file(const std::string& name, const std::string& path,
+                          std::size_t threads = 1) PULPHD_EXCLUDES(mutex_);
 
   /// Makes `name` the default route; throws std::runtime_error when no
   /// such model is registered.
@@ -60,24 +66,45 @@ class ModelRegistry {
 
   /// Routes a request: "" resolves to the default model, anything else to
   /// the model of that name. Throws pulphd::CodedError(unknown-model) when
-  /// the name is unknown or the registry is empty.
-  const ModelEntry& resolve(const std::string& name) const PULPHD_EXCLUDES(mutex_);
+  /// the name is unknown or the registry is empty. The returned snapshot
+  /// stays valid (and bit-identical) for as long as the caller holds it,
+  /// across any number of concurrent reloads.
+  ModelSnapshot resolve(const std::string& name) const PULPHD_EXCLUDES(mutex_);
+
+  /// Re-loads `name` from its recorded source file and atomically swaps
+  /// the fresh model in. Never throws on load problems: failure (unknown
+  /// name, in-memory model with no source file, missing/corrupt file)
+  /// leaves the previous model serving and is described in the result.
+  /// The disk read and classifier rebuild happen off-lock — classify
+  /// traffic is never blocked. (ReloadStatus is the wire-facing result
+  /// row; see serve/protocol.hpp.)
+  ReloadStatus reload(const std::string& name) PULPHD_EXCLUDES(mutex_);
+
+  /// reload() for every registered model, in registration order.
+  std::vector<ReloadStatus> reload_all() PULPHD_EXCLUDES(mutex_);
 
   std::size_t size() const PULPHD_EXCLUDES(mutex_);
   bool empty() const PULPHD_EXCLUDES(mutex_);
   std::string default_name() const PULPHD_EXCLUDES(mutex_);
 
   /// The `models` response rows for the current contents, in registration
-  /// order (stable — entries are never removed or reordered).
+  /// order (stable — routes are never removed or reordered).
   std::vector<ModelInfo> infos() const PULPHD_EXCLUDES(mutex_);
 
  private:
-  const ModelEntry* find_locked(const std::string& name) const PULPHD_REQUIRES(mutex_);
+  /// One route: the stable name plus its swappable published snapshot and
+  /// the thread knob to re-apply when reloading.
+  struct Slot {
+    std::string name;
+    ModelSnapshot current;
+    std::size_t threads = 1;
+  };
+
+  Slot* find_locked(const std::string& name) PULPHD_REQUIRES(mutex_);
+  const Slot* find_locked(const std::string& name) const PULPHD_REQUIRES(mutex_);
 
   mutable Mutex mutex_;
-  // unique_ptr keeps ModelEntry addresses stable across add() so resolved
-  // entries remain valid while the registry grows.
-  std::vector<std::unique_ptr<ModelEntry>> entries_ PULPHD_GUARDED_BY(mutex_);
+  std::vector<Slot> slots_ PULPHD_GUARDED_BY(mutex_);
   std::string default_name_ PULPHD_GUARDED_BY(mutex_);
 };
 

@@ -1,0 +1,93 @@
+#include "serve/retry.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/io.hpp"
+
+namespace pulphd::serve {
+namespace {
+
+/// xorshift64* — same tiny deterministic generator the failpoint
+/// subsystem uses for p= triggers; good enough to decorrelate delays.
+std::uint64_t next_rand(std::uint64_t& state) noexcept {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace
+
+Backoff::Backoff(BackoffPolicy policy) noexcept
+    : policy_(policy),
+      current_(policy.initial),
+      rng_state_(policy.jitter_seed != 0 ? policy.jitter_seed : 1) {}
+
+std::optional<std::chrono::milliseconds> Backoff::next_delay() noexcept {
+  // max_attempts counts the initial try, so the budget of *delays* is one
+  // smaller: attempts = 1 + retries.
+  if (policy_.max_attempts <= 1 || retries_ + 1 >= policy_.max_attempts) {
+    return std::nullopt;
+  }
+  ++retries_;
+  std::chrono::milliseconds delay = current_;
+  if (policy_.jitter_seed != 0 && delay.count() > 1) {
+    // Equal jitter: uniform in [base/2, base]. Keeps a real floor (the
+    // retry still waits) while spreading clients across half the window.
+    const auto half = delay.count() / 2;
+    delay = std::chrono::milliseconds(
+        half + static_cast<std::int64_t>(next_rand(rng_state_) %
+                                         static_cast<std::uint64_t>(delay.count() - half + 1)));
+  }
+  // Advance the schedule (un-jittered base, so jitter never compounds).
+  const double grown = static_cast<double>(current_.count()) * policy_.multiplier;
+  const auto cap = static_cast<double>(policy_.cap.count());
+  current_ = std::chrono::milliseconds(static_cast<std::int64_t>(grown < cap ? grown : cap));
+  if (current_ < policy_.initial) current_ = policy_.initial;
+  return delay;
+}
+
+bool connect_errno_is_transient(int err) noexcept {
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN;
+}
+
+int connect_unix_retry(const std::string& path, const BackoffPolicy& policy,
+                       RetryStats* stats) {
+  sockaddr_un addr{};
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw std::runtime_error("connect " + path + ": socket path too long");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Backoff backoff(policy);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw std::runtime_error("socket: " + io::errno_text(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (!connect_errno_is_transient(err)) {
+      throw std::runtime_error("connect " + path + ": " + io::errno_text(err));
+    }
+    const std::optional<std::chrono::milliseconds> delay = backoff.next_delay();
+    if (!delay) {
+      if (stats != nullptr) ++stats->give_ups;
+      throw std::runtime_error("connect " + path + ": " + io::errno_text(err) + " after " +
+                               std::to_string(backoff.retries() + 1) + " attempts");
+    }
+    if (stats != nullptr) ++stats->connect_retries;
+    std::this_thread::sleep_for(*delay);
+  }
+}
+
+}  // namespace pulphd::serve

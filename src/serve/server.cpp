@@ -11,10 +11,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.hpp"
+#include "common/io.hpp"
 #include "common/status.hpp"
 
 namespace pulphd::serve {
@@ -39,23 +42,15 @@ constexpr std::uint64_t kUnixListenerId = 1;
 constexpr std::uint64_t kTcpListenerId = 2;
 constexpr std::uint64_t kCompletionId = 3;
 
-/// Thread-safe errno formatting: workers and the loop thread both throw
-/// through here, and std::strerror shares one static buffer.
-std::string errno_text(int err) {
-  char buf[256];
-#if defined(__GLIBC__) && defined(_GNU_SOURCE)
-  // GNU strerror_r returns the message (buf only backs unknown codes).
-  return ::strerror_r(err, buf, sizeof(buf));
-#else
-  if (::strerror_r(err, buf, sizeof(buf)) != 0) {
-    return "errno " + std::to_string(err);
-  }
-  return buf;
-#endif
-}
+/// A transient accept(2) failure in this class unregisters the listeners
+/// for this long instead of letting level-triggered epoll spin on an
+/// accept that cannot succeed until an fd frees up.
+constexpr std::chrono::milliseconds kAcceptBackoff{100};
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + errno_text(errno));
+  // io::errno_text is the strerror_r-based thread-safe formatter: workers
+  // and the loop thread both throw through here.
+  throw std::runtime_error(what + ": " + io::errno_text(errno));
 }
 
 void close_quietly(int& fd) {
@@ -86,13 +81,20 @@ bool send_all(int fd, std::string_view data) {
 /// loop thread; workers refer to a connection only by its id, so a
 /// connection that dies mid-request simply orphans its completion.
 struct ClassifyServer::Connection {
+  /// A parsed wire event plus when it finished parsing — the clock the
+  /// --request-timeout shedding in dispatch_next measures queueing from.
+  struct PendingEvent {
+    WireEvent event;
+    std::chrono::steady_clock::time_point arrived;
+  };
+
   std::uint64_t id = 0;
   int fd = -1;
   ConnectionSession session;
   std::string outbuf;       ///< encoded responses; [0, outoff) is already sent
   std::size_t outoff = 0;   ///< sent prefix of outbuf (reclaimed lazily)
-  std::deque<WireEvent> pending;  ///< parsed requests / errors awaiting their turn
-  bool busy = false;              ///< a classify is on a worker
+  std::deque<PendingEvent> pending;  ///< parsed requests / errors awaiting their turn
+  bool busy = false;                 ///< a classify/reload is on a worker
   bool closing = false;           ///< flush outbuf, then close
   bool peer_eof = false;          ///< read() hit EOF; still answering pipelined work
   std::uint32_t armed = 0;        ///< epoll event mask currently registered
@@ -106,7 +108,7 @@ struct ClassifyServer::Connection {
   std::size_t out_size() const noexcept { return outbuf.size() - outoff; }
 };
 
-ClassifyServer::ClassifyServer(const ModelRegistry& registry, ServeConfig config)
+ClassifyServer::ClassifyServer(ModelRegistry& registry, ServeConfig config)
     : registry_(registry), config_(std::move(config)) {
   // Non-blocking on both ends: stop() must never block in a signal handler,
   // and shutdown drains the read end until empty.
@@ -175,6 +177,12 @@ void ClassifyServer::stop() noexcept {
   (void)::write(stop_pipe_[1], &byte, 1);
 }
 
+void ClassifyServer::request_reload() noexcept {
+  reload_pending_.store(true);
+  const char byte = 1;
+  (void)::write(stop_pipe_[1], &byte, 1);
+}
+
 void ClassifyServer::run() {
   check_invariant(unix_fd_ >= 0 || tcp_fd_ >= 0, "ClassifyServer::run before bind_and_listen");
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -199,15 +207,25 @@ void ClassifyServer::run() {
 
   epoll_event events[64];
   while (!stopping_.load()) {
-    const int timeout_ms = idle_sweep_timeout_ms();
+    const int timeout_ms = loop_timeout_ms();
     const int ready = ::epoll_wait(epoll_fd_, events, std::size(events), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw_errno("ClassifyServer: epoll_wait");
     }
+    maybe_resume_accepting();
     for (int i = 0; i < ready && !stopping_.load(); ++i) {
       const std::uint64_t id = events[i].data.u64;
-      if (id == kStopId) break;
+      if (id == kStopId) {
+        // The stop pipe carries both shutdown and SIGHUP-reload wakeups;
+        // drain it, then let the flags say which this was.
+        char byte = 0;
+        while (::read(stop_pipe_[0], &byte, 1) > 0) {
+        }
+        if (stopping_.load()) break;
+        if (reload_pending_.exchange(false)) start_async_reload();
+        continue;
+      }
       if (id == kUnixListenerId) {
         accept_ready(unix_fd_);
         continue;
@@ -244,6 +262,17 @@ void ClassifyServer::run() {
   shutdown_loop();
 }
 
+int ClassifyServer::loop_timeout_ms() {
+  int timeout = idle_sweep_timeout_ms();
+  if (accept_paused_) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto wait = std::chrono::ceil<std::chrono::milliseconds>(accept_resume_ - now);
+    const int resume_ms = static_cast<int>(std::clamp<long long>(wait.count(), 1, 60'000));
+    timeout = timeout < 0 ? resume_ms : std::min(timeout, resume_ms);
+  }
+  return timeout;
+}
+
 int ClassifyServer::idle_sweep_timeout_ms() {
   if (config_.idle_timeout.count() <= 0) return -1;
   const auto now = std::chrono::steady_clock::now();
@@ -272,10 +301,59 @@ int ClassifyServer::idle_sweep_timeout_ms() {
   return static_cast<int>(std::clamp<long long>(wait.count(), 1, 60'000));
 }
 
+void ClassifyServer::pause_accepting(int err) {
+  // Unregister the listeners (level-triggered epoll would otherwise spin
+  // reporting them readable) and come back after the backoff window; the
+  // pending backlog survives in the kernel queue.
+  std::fprintf(stderr, "pulphd serve: accept: %s; pausing accepts for %lld ms\n",
+               io::errno_text(err).c_str(), static_cast<long long>(kAcceptBackoff.count()));
+  if (unix_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, unix_fd_, nullptr);
+  if (tcp_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, tcp_fd_, nullptr);
+  accept_paused_ = true;
+  accept_resume_ = std::chrono::steady_clock::now() + kAcceptBackoff;
+}
+
+void ClassifyServer::maybe_resume_accepting() {
+  if (!accept_paused_ || std::chrono::steady_clock::now() < accept_resume_) return;
+  accept_paused_ = false;
+  auto rearm = [this](int fd, std::uint64_t id) {
+    if (fd < 0) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  };
+  rearm(unix_fd_, kUnixListenerId);
+  rearm(tcp_fd_, kTcpListenerId);
+  // Catch up on the backlog that queued while paused.
+  if (unix_fd_ >= 0) accept_ready(unix_fd_);
+  if (tcp_fd_ >= 0 && !accept_paused_) accept_ready(tcp_fd_);
+}
+
 void ClassifyServer::accept_ready(int listen_fd) {
-  while (true) {
-    const int client = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
-    if (client < 0) return;  // EAGAIN, or the peer vanished between poll and accept
+  while (!accept_paused_) {
+    int client = -1;
+    const failpoint::Injection inj = failpoint::evaluate("serve.accept");
+    if (inj.kind == failpoint::Injection::Kind::kError) {
+      errno = inj.error;
+    } else {
+      client = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    }
+    if (client < 0) {
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
+      if (err == EINTR || err == ECONNABORTED) continue;  // this one peer only
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+        // fd/memory exhaustion: nothing accepts until resources free up.
+        // Back off instead of dying — the paper's daemon is always-on.
+        pause_accepting(err);
+        return;
+      }
+      // Anything else is unexpected but still no reason to kill the loop;
+      // log it and wait for the next epoll wakeup.
+      std::fprintf(stderr, "pulphd serve: accept: %s (ignored)\n", io::errno_text(err).c_str());
+      return;
+    }
     if (config_.max_connections > 0 && conns_.size() >= config_.max_connections) {
       // Shed load at the door. The refusal is always the text encoding:
       // the connection never got to negotiate, and an error line is
@@ -369,13 +447,15 @@ void ClassifyServer::finish_io(Connection& conn) {
 }
 
 void ClassifyServer::enqueue_events(Connection& conn, std::vector<WireEvent> events) {
-  for (WireEvent& event : events) conn.pending.push_back(std::move(event));
+  const auto now = std::chrono::steady_clock::now();
+  for (WireEvent& event : events) conn.pending.push_back({std::move(event), now});
 }
 
 void ClassifyServer::dispatch_next(Connection& conn) {
   while (!conn.busy && !conn.closing && !conn.pending.empty()) {
-    WireEvent item = std::move(conn.pending.front());
+    Connection::PendingEvent queued = std::move(conn.pending.front());
     conn.pending.pop_front();
+    WireEvent& item = queued.event;
     if (!item.output.empty()) conn.outbuf += item.output;
     if (item.drop) {
       conn.closing = true;
@@ -389,10 +469,29 @@ void ClassifyServer::dispatch_next(Connection& conn) {
       conn.pending.clear();
       return;
     }
-    if (std::holds_alternative<ClassifyRequest>(*item.request)) {
-      // The only request that computes: hand it to the pool and wait for
-      // its completion before touching the next pipelined item, so
-      // responses keep request order.
+    const bool computes = std::holds_alternative<ClassifyRequest>(*item.request) ||
+                          std::holds_alternative<ReloadRequest>(*item.request);
+    if (computes && config_.request_timeout.count() > 0) {
+      // Shed work that sat queued behind earlier pipelined requests past
+      // the deadline: answering `timeout` now beats running a classify
+      // whose client has long stopped waiting. Requests already on a
+      // worker are never interrupted.
+      const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - queued.arrived);
+      if (waited > config_.request_timeout) {
+        conn.outbuf += ResponseEncoder(conn.session.wire())
+                           .error(kErrTimeout,
+                                  "request queued for " + std::to_string(waited.count()) +
+                                      " ms, past the " +
+                                      std::to_string(config_.request_timeout.count()) +
+                                      " ms deadline; shed unrun");
+        continue;
+      }
+    }
+    if (computes) {
+      // Classify and reload both compute/do I/O: hand them to the pool
+      // and wait for the completion before touching the next pipelined
+      // item, so responses keep request order.
       conn.busy = true;
       const std::uint64_t id = conn.id;
       const Wire wire = conn.session.wire();
@@ -424,6 +523,36 @@ void ClassifyServer::dispatch_next(Connection& conn) {
     // ping / models: trivial lookups, answered on the loop thread itself.
     conn.outbuf += handle_request(*item.request, conn.session.wire());
   }
+}
+
+void ClassifyServer::start_async_reload() {
+  // SIGHUP-initiated reload_all, run on the worker pool like any other
+  // compute so disk I/O never stalls the event loop. Outcomes have no
+  // connection to answer on, so they are reported to stderr; the
+  // in_flight_ accounting keeps shutdown_loop waiting for it like any
+  // classify.
+  {
+    const MutexLock lock(completions_mutex_);
+    ++in_flight_;
+  }
+  workers_->submit([this] {
+    std::string report = "pulphd serve: reload (SIGHUP):\n";
+    try {
+      for (const ReloadStatus& status : registry_.reload_all()) {
+        report += "reload model=" + status.name + (status.ok ? " ok=1" : " ok=0");
+        if (!status.message.empty()) report += " msg=" + status.message;
+        report += '\n';
+      }
+    } catch (const std::exception& e) {
+      report += std::string("reload failed: ") + e.what() + '\n';
+    }
+    std::fputs(report.c_str(), stderr);
+    {
+      const MutexLock lock(completions_mutex_);
+      --in_flight_;
+    }
+    completions_cv_.notify_all();
+  });
 }
 
 void ClassifyServer::drain_completions() {
@@ -559,15 +688,34 @@ std::string ClassifyServer::handle_request(const Request& request, Wire wire) co
     if (std::holds_alternative<ModelsRequest>(request)) {
       return encoder.models(registry_.infos());
     }
+    if (std::holds_alternative<ReloadRequest>(request)) {
+      const auto& reload = std::get<ReloadRequest>(request);
+      // Reload failures live in the per-model status rows, never as a
+      // wire error: the previous models keep serving regardless.
+      const std::vector<ReloadStatus> statuses =
+          reload.model.empty() ? registry_.reload_all()
+                               : std::vector<ReloadStatus>{registry_.reload(reload.model)};
+      return encoder.reload(statuses);
+    }
+    // Chaos hook for the worker-side execute path: stall(MS) makes
+    // classifies slow (driving --request-timeout shedding), err(E)
+    // simulates an unexpected execution failure.
+    const failpoint::Injection inj = failpoint::evaluate("serve.classify");
+    if (inj.kind == failpoint::Injection::Kind::kError) {
+      throw std::runtime_error("injected classify failure: " + io::errno_text(inj.error));
+    }
     const auto& classify = std::get<ClassifyRequest>(request);
-    const ModelEntry& entry = registry_.resolve(classify.model);
-    const hd::ClassifierConfig& cfg = entry.classifier.config();
+    // The snapshot pins this model version for the whole computation: a
+    // concurrent reload swaps the registry slot without ever blocking or
+    // invalidating this request.
+    const ModelSnapshot entry = registry_.resolve(classify.model);
+    const hd::ClassifierConfig& cfg = entry->classifier.config();
     for (std::size_t t = 0; t < classify.trials.size(); ++t) {
       const hd::Trial& trial = classify.trials[t];
       if (trial.size() < cfg.ngram) {
         throw CodedError(std::string(kErrBadTrial),
                          "trial " + std::to_string(t) + " has " + std::to_string(trial.size()) +
-                             " samples but model \"" + entry.name + "\" needs >= " +
+                             " samples but model \"" + entry->name + "\" needs >= " +
                              std::to_string(cfg.ngram) + " (its N-gram size)");
       }
       for (const hd::Sample& sample : trial) {
@@ -575,15 +723,15 @@ std::string ClassifyServer::handle_request(const Request& request, Wire wire) co
           throw CodedError(std::string(kErrBadTrial),
                            "trial " + std::to_string(t) + " has a sample with " +
                                std::to_string(sample.size()) + " channels but model \"" +
-                               entry.name + "\" expects " + std::to_string(cfg.channels));
+                               entry->name + "\" expects " + std::to_string(cfg.channels));
         }
       }
     }
     // The bit-identical offline batch path: parallel fused encode across
     // the classifier's host threads, then the word-parallel AM kernel.
     const std::vector<hd::AmDecision> decisions =
-        entry.classifier.predict_batch(classify.trials);
-    return encoder.classify(entry.name, decisions);
+        entry->classifier.predict_batch(classify.trials);
+    return encoder.classify(entry->name, decisions);
   } catch (const CodedError& e) {
     return encoder.error(e.code(), e.what());
   } catch (const std::exception& e) {

@@ -18,8 +18,16 @@
 // through a mutex-guarded completion queue + eventfd wakeup. Requests
 // pipelined on one connection are answered strictly in order; different
 // connections classify concurrently across the pool. The registry is
-// internally synchronized and its entries immutable once registered, so
-// workers resolve and classify against it concurrently.
+// internally synchronized and hands out immutable shared_ptr snapshots
+// (RCU-style), so workers resolve and classify against it concurrently —
+// including while a `reload` request or SIGHUP (request_reload()) swaps
+// fresh models in underneath them.
+//
+// Degradation: transient accept(2) failures (EMFILE/ENFILE/ENOBUFS/ENOMEM)
+// pause the listeners briefly instead of killing the loop; requests queued
+// past ServeConfig::request_timeout are shed with a `timeout` error; and
+// the failpoints "serve.accept" / "serve.classify" (common/failpoint.hpp)
+// let the chaos suite force every one of those paths.
 #pragma once
 
 #include <atomic>
@@ -62,6 +70,11 @@ struct ServeConfig {
   /// work and no wire activity for this long is closed without a
   /// response, like any TCP daemon sheds dead peers.
   std::chrono::milliseconds idle_timeout{0};
+  /// Request deadline (0 = none): a classify/reload still queued behind
+  /// earlier pipelined work this long after it was parsed is shed with an
+  /// `err code=timeout` response instead of being run. A request already
+  /// executing on a worker is never interrupted.
+  std::chrono::milliseconds request_timeout{0};
   /// Worker threads executing classify requests (0 = one per hardware
   /// thread). Trivial requests (ping/models/quit) are answered on the
   /// event loop itself.
@@ -71,9 +84,11 @@ struct ServeConfig {
 class ClassifyServer {
  public:
   /// The registry must outlive the server. It is internally synchronized
-  /// (and entries are immutable once registered), so new models may be
-  /// added concurrently while run() is live; the server itself only reads.
-  ClassifyServer(const ModelRegistry& registry, ServeConfig config);
+  /// and hands out immutable snapshots, so new models may be added — and
+  /// existing ones reloaded — concurrently while run() is live. The
+  /// server mutates it only through reload requests (wire `reload`,
+  /// request_reload()).
+  ClassifyServer(ModelRegistry& registry, ServeConfig config);
   ~ClassifyServer();
 
   ClassifyServer(const ClassifyServer&) = delete;
@@ -97,6 +112,13 @@ class ClassifyServer {
   /// a SIGINT/SIGTERM handler may call it directly.
   void stop() noexcept;
 
+  /// Requests an asynchronous reload of every registered model from disk,
+  /// as if a `reload` wire request arrived. Async-signal-safe (flag +
+  /// pipe byte), so a SIGHUP handler may call it directly. The reload
+  /// runs on the worker pool; per-model outcomes are logged to stderr,
+  /// and a failed model keeps its previous snapshot serving.
+  void request_reload() noexcept;
+
   /// Serves one already-established connection until the peer closes, a
   /// `quit` request, or an unrecoverable protocol error; closes `fd`.
   /// Blocking and single-threaded — the same ConnectionSession logic the
@@ -118,6 +140,17 @@ class ClassifyServer {
 
   // Event-loop internals (all run on the loop thread only).
   void accept_ready(int listen_fd);
+  /// Unregisters the listeners for a short backoff window after an
+  /// fd/memory-exhaustion accept failure (EMFILE and friends), so a
+  /// level-triggered epoll does not spin on an accept that cannot succeed.
+  void pause_accepting(int err);
+  /// Re-registers the listeners once the backoff window has passed.
+  void maybe_resume_accepting();
+  /// run()'s epoll_wait timeout: the earlier of the idle sweep and the
+  /// accept-backoff resume deadline (-1 = block forever).
+  int loop_timeout_ms();
+  /// Submits the SIGHUP-initiated reload_all to the worker pool.
+  void start_async_reload() PULPHD_EXCLUDES(completions_mutex_);
   void connection_readable(Connection& conn);
   void connection_writable(Connection& conn);  ///< EPOLLOUT: resume a parked flush
   /// Shared post-I/O tail (dispatch, flush, close-when-finished, re-arm
@@ -132,7 +165,7 @@ class ClassifyServer {
   int idle_sweep_timeout_ms();
   void shutdown_loop() PULPHD_EXCLUDES(completions_mutex_);
 
-  const ModelRegistry& registry_;
+  ModelRegistry& registry_;
   ServeConfig config_;
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
@@ -140,6 +173,7 @@ class ClassifyServer {
   bool unix_bound_ = false;  ///< we created unix_path, so we may unlink it
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> reload_pending_{false};  ///< set by request_reload()
 
   // Loop-thread-only state: confined to the run() thread (bind_and_listen
   // and the constructor run strictly before it), never locked. The worker
@@ -148,6 +182,8 @@ class ClassifyServer {
   // below instead.
   int epoll_fd_ = -1;
   int completion_fd_ = -1;  ///< eventfd the workers signal completions on
+  bool accept_paused_ = false;  ///< listeners unregistered for backoff
+  std::chrono::steady_clock::time_point accept_resume_{};
   std::uint64_t next_conn_id_ = 16;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
   std::unique_ptr<ThreadPool> workers_;

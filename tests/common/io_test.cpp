@@ -1,0 +1,124 @@
+#include "common/io.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/failpoint.hpp"
+
+namespace pulphd::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool exists(const std::string& path) { return ::access(path.c_str(), F_OK) == 0; }
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::clear();
+    std::remove(path_.c_str());
+    std::remove(temp_sibling(path_).c_str());
+  }
+
+  // Pid-qualified: ctest runs each case as its own parallel process, so a
+  // shared fixed name would let concurrent cases clobber each other.
+  std::string path_ =
+      ::testing::TempDir() + "/io_test_target." + std::to_string(::getpid()) + ".bin";
+};
+
+TEST_F(IoTest, ErrnoTextNamesTheErrorAndNumber) {
+  const std::string text = errno_text(ENOSPC);
+  EXPECT_NE(text.find("(errno " + std::to_string(ENOSPC) + ")"), std::string::npos) << text;
+  EXPECT_GT(text.size(), std::string("(errno 28)").size());  // has a message part
+}
+
+TEST_F(IoTest, AtomicWriteFileRoundTripsContents) {
+  const std::string contents("hello\0world, with\nbinary bytes", 30);
+  atomic_write_file(path_, contents);
+  EXPECT_EQ(slurp(path_), contents);
+  // No temp sibling survives a successful write.
+  EXPECT_FALSE(exists(temp_sibling(path_)));
+}
+
+TEST_F(IoTest, AtomicWriteFileReplacesExistingContents) {
+  atomic_write_file(path_, "old");
+  atomic_write_file(path_, "new contents, longer than before");
+  EXPECT_EQ(slurp(path_), "new contents, longer than before");
+}
+
+TEST_F(IoTest, FailedWriteLeavesPreviousFileUntouched) {
+  atomic_write_file(path_, "the previous complete checkpoint");
+  for (const char* spec : {"io.write=err(ENOSPC):once", "io.fsync=err(EIO):once",
+                           "io.rename=err(EIO):once", "io.open=err(EACCES):once"}) {
+    failpoint::configure(spec);
+    EXPECT_THROW(atomic_write_file(path_, "torn"), std::runtime_error) << spec;
+    // The target still holds the previous complete contents and the temp
+    // is gone — a crash-time reader can never see a partial file.
+    EXPECT_EQ(slurp(path_), "the previous complete checkpoint") << spec;
+    EXPECT_FALSE(exists(temp_sibling(path_))) << spec;
+  }
+}
+
+TEST_F(IoTest, ShortWriteInjectionFailsLikeAFullDisk) {
+  failpoint::configure("io.write=short(4):once");
+  const std::string message =
+      error_message([&] { atomic_write_file(path_, "0123456789"); });
+  EXPECT_NE(message.find("write"), std::string::npos) << message;
+  EXPECT_NE(message.find(std::to_string(ENOSPC)), std::string::npos) << message;
+  EXPECT_FALSE(exists(path_));
+  EXPECT_FALSE(exists(temp_sibling(path_)));
+}
+
+TEST_F(IoTest, ErrorsNameTheOperationPathAndErrno) {
+  failpoint::configure("io.write=err(ENOSPC):once");
+  const std::string message = error_message([&] { atomic_write_file(path_, "x"); });
+  EXPECT_NE(message.find("write"), std::string::npos) << message;
+  // The failing write targets the temp sibling — that is the path an
+  // operator needs to see.
+  EXPECT_NE(message.find(temp_sibling(path_)), std::string::npos) << message;
+  EXPECT_NE(message.find("errno"), std::string::npos) << message;
+}
+
+TEST_F(IoTest, StaleOrphanTempIsReplacedByTheNextWrite) {
+  // Simulate a crash that left an orphan temp behind.
+  std::ofstream(temp_sibling(path_), std::ios::binary) << "half-written garbage";
+  atomic_write_file(path_, "fresh");
+  EXPECT_EQ(slurp(path_), "fresh");
+  EXPECT_FALSE(exists(temp_sibling(path_)));
+}
+
+TEST_F(IoTest, TempSiblingIsAStableDerivedName) {
+  EXPECT_EQ(temp_sibling("/a/b/model.phd"), "/a/b/model.phd.tmp");
+}
+
+TEST_F(IoTest, WriteAllRidesOutShortKernelWrites) {
+  // A pipe has a small kernel buffer; write_all must loop rather than
+  // assume one write(2) takes the whole buffer.
+  const std::string big(1 << 20, 'x');
+  atomic_write_file(path_, big);
+  EXPECT_EQ(slurp(path_).size(), big.size());
+}
+
+}  // namespace
+}  // namespace pulphd::io

@@ -51,10 +51,10 @@ TEST(ModelRegistry, RoutesByNameWithFirstModelAsDefault) {
   registry.add("subj1", tiny_classifier(2));
   EXPECT_EQ(registry.size(), 2u);
   EXPECT_EQ(registry.default_name(), "subj0");
-  EXPECT_EQ(registry.resolve("subj1").name, "subj1");
-  EXPECT_EQ(registry.resolve("subj0").name, "subj0");
+  EXPECT_EQ(registry.resolve("subj1")->name, "subj1");
+  EXPECT_EQ(registry.resolve("subj0")->name, "subj0");
   // The empty name routes to the default.
-  EXPECT_EQ(registry.resolve("").name, "subj0");
+  EXPECT_EQ(registry.resolve("")->name, "subj0");
 }
 
 TEST(ModelRegistry, SetDefaultRedirectsEmptyName) {
@@ -62,7 +62,7 @@ TEST(ModelRegistry, SetDefaultRedirectsEmptyName) {
   registry.add("a", tiny_classifier(1));
   registry.add("b", tiny_classifier(2));
   registry.set_default("b");
-  EXPECT_EQ(registry.resolve("").name, "b");
+  EXPECT_EQ(registry.resolve("")->name, "b");
   EXPECT_THROW(registry.set_default("missing"), std::runtime_error);
 }
 
@@ -98,9 +98,9 @@ TEST(ModelRegistry, LoadFileUsesEmbeddedNameAndAppliesThreads) {
   hd::save_model_file(tiny_classifier(3), path, "embedded");
   ModelRegistry registry;
   registry.load_file("", path, 4);
-  const ModelEntry& entry = registry.resolve("embedded");
-  EXPECT_EQ(entry.source_path, path);
-  EXPECT_EQ(entry.classifier.config().threads, 4u);
+  const ModelSnapshot entry = registry.resolve("embedded");
+  EXPECT_EQ(entry->source_path, path);
+  EXPECT_EQ(entry->classifier.config().threads, 4u);
   std::remove(path.c_str());
 }
 
@@ -109,7 +109,7 @@ TEST(ModelRegistry, ExplicitNameOverridesEmbeddedName) {
   hd::save_model_file(tiny_classifier(3), path, "embedded");
   ModelRegistry registry;
   registry.load_file("override", path);
-  EXPECT_EQ(registry.resolve("override").name, "override");
+  EXPECT_EQ(registry.resolve("override")->name, "override");
   EXPECT_THROW((void)registry.resolve("embedded"), CodedError);
   std::remove(path.c_str());
 }
@@ -188,8 +188,8 @@ TEST(ModelRegistry, ConcurrentAddAndResolveAreRaceFree) {
   for (int r = 0; r < 2; ++r) {
     threads.emplace_back([&registry, &resolved] {
       for (int i = 0; i < 100; ++i) {
-        const ModelEntry& entry = registry.resolve("seed");
-        if (entry.name == "seed") resolved.fetch_add(1, std::memory_order_relaxed);
+        const ModelSnapshot entry = registry.resolve("seed");
+        if (entry->name == "seed") resolved.fetch_add(1, std::memory_order_relaxed);
         (void)registry.infos();
         (void)registry.size();
         (void)registry.default_name();
@@ -200,6 +200,149 @@ TEST(ModelRegistry, ConcurrentAddAndResolveAreRaceFree) {
   EXPECT_EQ(resolved.load(), 200);
   EXPECT_EQ(registry.size(), 1u + kWriters * kPerWriter);
   EXPECT_EQ(registry.default_name(), "seed");  // first registration wins
+}
+
+// --- reload semantics -------------------------------------------------------
+
+/// A deterministic probe trial; equal predictions on it are the cheap
+/// proxy for "the same model is serving".
+std::vector<hd::Trial> probe_trials() {
+  hd::Trial trial;
+  for (int i = 0; i < 6; ++i) trial.push_back({1.0f, 6.0f, 3.0f, 2.0f});
+  return {trial};
+}
+
+TEST(ModelRegistryReload, SwapsInTheNewFileContents) {
+  const std::string path = ::testing::TempDir() + "/registry_reload_swap.phd";
+  hd::save_model_file(tiny_classifier(3), path, "m");
+  ModelRegistry registry;
+  registry.load_file("", path, 2);
+  const ModelSnapshot before = registry.resolve("m");
+
+  // Retrain with a different seed and overwrite the file in place —
+  // exactly the operational "retrain then SIGHUP" flow.
+  hd::save_model_file(tiny_classifier(77), path, "m");
+  const ReloadStatus status = registry.reload("m");
+  EXPECT_TRUE(status.ok) << status.message;
+  EXPECT_EQ(status.name, "m");
+
+  const ModelSnapshot after = registry.resolve("m");
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(after->classifier.config().seed, 77u);
+  // The threads knob given at load_file time is re-applied on reload.
+  EXPECT_EQ(after->classifier.config().threads, 2u);
+  // The old snapshot is still alive and classifies exactly as before.
+  EXPECT_EQ(before->classifier.config().seed, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryReload, MissingFileKeepsThePreviousModelServing) {
+  const std::string path = ::testing::TempDir() + "/registry_reload_missing.phd";
+  hd::save_model_file(tiny_classifier(3), path, "m");
+  ModelRegistry registry;
+  registry.load_file("", path);
+  const std::vector<hd::AmDecision> before =
+      registry.resolve("m")->classifier.predict_batch(probe_trials());
+
+  std::remove(path.c_str());
+  const ReloadStatus status = registry.reload("m");
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find(path), std::string::npos) << status.message;
+
+  // The failed reload swapped nothing: predictions are bit-identical.
+  const std::vector<hd::AmDecision> after =
+      registry.resolve("m")->classifier.predict_batch(probe_trials());
+  ASSERT_EQ(before.size(), after.size());
+  EXPECT_EQ(before[0].label, after[0].label);
+  EXPECT_EQ(before[0].distances, after[0].distances);
+}
+
+TEST(ModelRegistryReload, CorruptFileKeepsThePreviousModelServing) {
+  const std::string path = ::testing::TempDir() + "/registry_reload_corrupt.phd";
+  hd::save_model_file(tiny_classifier(3), path, "m");
+  ModelRegistry registry;
+  registry.load_file("", path);
+  const std::vector<hd::AmDecision> before =
+      registry.resolve("m")->classifier.predict_batch(probe_trials());
+
+  std::ofstream(path, std::ios::binary) << "garbage, not a model";
+  const ReloadStatus status = registry.reload("m");
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find(path), std::string::npos) << status.message;
+
+  const std::vector<hd::AmDecision> after =
+      registry.resolve("m")->classifier.predict_batch(probe_trials());
+  EXPECT_EQ(before[0].label, after[0].label);
+  EXPECT_EQ(before[0].distances, after[0].distances);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryReload, InMemoryAndUnknownModelsFailSoftly) {
+  ModelRegistry registry;
+  registry.add("mem", tiny_classifier(1));
+  const ReloadStatus mem = registry.reload("mem");
+  EXPECT_FALSE(mem.ok);
+  EXPECT_NE(mem.message.find("no file"), std::string::npos) << mem.message;
+  const ReloadStatus unknown = registry.reload("ghost");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.message.find("ghost"), std::string::npos) << unknown.message;
+  // Either way the registry still serves.
+  EXPECT_EQ(registry.resolve("mem")->name, "mem");
+}
+
+TEST(ModelRegistryReload, ReloadAllReportsEveryModelInOrder) {
+  const std::string path = ::testing::TempDir() + "/registry_reload_all.phd";
+  hd::save_model_file(tiny_classifier(3), path, "ondisk");
+  ModelRegistry registry;
+  registry.add("mem", tiny_classifier(1));
+  registry.load_file("", path);
+  const std::vector<ReloadStatus> statuses = registry.reload_all();
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].name, "mem");
+  EXPECT_FALSE(statuses[0].ok);  // in-memory: nothing to reload from
+  EXPECT_EQ(statuses[1].name, "ondisk");
+  EXPECT_TRUE(statuses[1].ok) << statuses[1].message;
+  std::remove(path.c_str());
+}
+
+// Classify traffic must never block on — or race with — a reload: readers
+// hold shared_ptr snapshots, the reload swaps the pointer under the mutex.
+// This is the scenario the TSan CI job drives.
+TEST(ModelRegistryReload, ConcurrentClassifyDuringReloadIsRaceFree) {
+  const std::string path = ::testing::TempDir() + "/registry_reload_race.phd";
+  hd::save_model_file(tiny_classifier(3), path, "m");
+  ModelRegistry registry;
+  registry.load_file("", path);
+  const std::vector<hd::Trial> trials = probe_trials();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> classified{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ModelSnapshot snap = registry.resolve("m");
+        (void)snap->classifier.predict_batch(trials);
+        classified.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 10; ++i) {
+    // Alternate good and corrupt contents so both the swap path and the
+    // keep-previous path run under concurrent readers.
+    if (i % 2 == 0) {
+      hd::save_model_file(tiny_classifier(static_cast<std::uint64_t>(10 + i)), path, "m");
+      EXPECT_TRUE(registry.reload("m").ok);
+    } else {
+      std::ofstream(path, std::ios::binary) << "garbage";
+      EXPECT_FALSE(registry.reload("m").ok);
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(classified.load(), 0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+#include "serve/retry.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pulphd::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::vector<milliseconds> drain(Backoff& backoff) {
+  std::vector<milliseconds> delays;
+  while (const auto d = backoff.next_delay()) delays.push_back(*d);
+  return delays;
+}
+
+TEST(Backoff, ExponentialScheduleWithoutJitterIsExact) {
+  BackoffPolicy policy;
+  policy.initial = milliseconds(10);
+  policy.cap = milliseconds(1000);
+  policy.multiplier = 2.0;
+  policy.max_attempts = 5;
+  policy.jitter_seed = 0;
+  Backoff backoff(policy);
+  const std::vector<milliseconds> delays = drain(backoff);
+  // 5 attempts = 4 delays between them.
+  ASSERT_EQ(delays.size(), 4u);
+  EXPECT_EQ(delays[0], milliseconds(10));
+  EXPECT_EQ(delays[1], milliseconds(20));
+  EXPECT_EQ(delays[2], milliseconds(40));
+  EXPECT_EQ(delays[3], milliseconds(80));
+  EXPECT_EQ(backoff.retries(), 4u);
+}
+
+TEST(Backoff, DelaysAreCappedAtThePolicyCap) {
+  BackoffPolicy policy;
+  policy.initial = milliseconds(100);
+  policy.cap = milliseconds(250);
+  policy.multiplier = 3.0;
+  policy.max_attempts = 5;
+  Backoff backoff(policy);
+  const std::vector<milliseconds> delays = drain(backoff);
+  ASSERT_EQ(delays.size(), 4u);
+  EXPECT_EQ(delays[0], milliseconds(100));
+  EXPECT_EQ(delays[1], milliseconds(250));
+  EXPECT_EQ(delays[2], milliseconds(250));
+  EXPECT_EQ(delays[3], milliseconds(250));
+}
+
+TEST(Backoff, OneAttemptMeansNoRetriesAtAll) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  Backoff backoff(policy);
+  EXPECT_FALSE(backoff.next_delay().has_value());
+  EXPECT_EQ(backoff.retries(), 0u);
+}
+
+TEST(Backoff, JitterStaysInTheEqualJitterWindowAndReplays) {
+  BackoffPolicy policy;
+  policy.initial = milliseconds(100);
+  policy.cap = milliseconds(1000);
+  policy.max_attempts = 6;
+  policy.jitter_seed = 0xfeed;
+  Backoff a(policy);
+  const std::vector<milliseconds> first = drain(a);
+  ASSERT_EQ(first.size(), 5u);
+  // Equal jitter: each delay is drawn from [base/2, base] of the
+  // un-jittered schedule 100, 200, 400, 800, 1000.
+  const milliseconds bases[] = {milliseconds(100), milliseconds(200), milliseconds(400),
+                                milliseconds(800), milliseconds(1000)};
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_GE(first[i], bases[i] / 2) << i;
+    EXPECT_LE(first[i], bases[i]) << i;
+  }
+  // Deterministic: the same seed replays the same schedule.
+  Backoff b(policy);
+  EXPECT_EQ(drain(b), first);
+  // A different seed decorrelates (overwhelmingly likely to differ
+  // somewhere across five 50-point windows).
+  policy.jitter_seed = 0xbeef;
+  Backoff c(policy);
+  EXPECT_NE(drain(c), first);
+}
+
+TEST(Retry, TransientConnectErrnosAreExactlyTheRefusedOrAbsentOnes) {
+  EXPECT_TRUE(connect_errno_is_transient(ECONNREFUSED));
+  EXPECT_TRUE(connect_errno_is_transient(ENOENT));
+  EXPECT_TRUE(connect_errno_is_transient(EAGAIN));
+  EXPECT_FALSE(connect_errno_is_transient(EACCES));
+  EXPECT_FALSE(connect_errno_is_transient(ENOTSOCK));
+}
+
+TEST(Retry, GivesUpAfterTheAttemptBudgetAndCountsIt) {
+  const std::string path = ::testing::TempDir() + "/retry_absent.sock";
+  ::unlink(path.c_str());
+  BackoffPolicy policy;
+  policy.initial = milliseconds(1);
+  policy.cap = milliseconds(2);
+  policy.max_attempts = 3;
+  RetryStats stats;
+  try {
+    (void)connect_unix_retry(path, policy, &stats);
+    FAIL() << "connect to an absent socket should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(path), std::string::npos) << message;
+    EXPECT_NE(message.find("3 attempts"), std::string::npos) << message;
+  }
+  EXPECT_EQ(stats.connect_retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(stats.give_ups, 1u);
+}
+
+TEST(Retry, ConnectsOnceTheListenerAppears) {
+  // The daemon-restart scenario: the socket path is absent when the
+  // client first tries, and a listener binds it a moment later.
+  const std::string path = ::testing::TempDir() + "/retry_latecomer.sock";
+  ::unlink(path.c_str());
+  std::thread listener([&path] {
+    std::this_thread::sleep_for(milliseconds(30));
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    ASSERT_EQ(::listen(fd, 1), 0);
+    const int conn = ::accept(fd, nullptr, nullptr);
+    EXPECT_GE(conn, 0);
+    ::close(conn);
+    ::close(fd);
+  });
+  BackoffPolicy policy;
+  policy.initial = milliseconds(5);
+  policy.cap = milliseconds(20);
+  policy.max_attempts = 100;
+  RetryStats stats;
+  const int fd = connect_unix_retry(path, policy, &stats);
+  EXPECT_GE(fd, 0);
+  EXPECT_GE(stats.connect_retries, 1u);  // the first try raced the bind
+  EXPECT_EQ(stats.give_ups, 0u);
+  ::close(fd);
+  listener.join();
+  ::unlink(path.c_str());
+}
+
+TEST(Retry, NonTransientFailuresDoNotRetry) {
+  // Connecting to a path that exists but is a regular file fails with
+  // ECONNREFUSED on some systems and ENOTSOCK on others — use an
+  // over-long path instead, which fails deterministically before any
+  // syscall and without burning retry budget.
+  const std::string path(200, 'x');
+  BackoffPolicy policy;
+  RetryStats stats;
+  EXPECT_THROW((void)connect_unix_retry(path, policy, &stats), std::runtime_error);
+  EXPECT_EQ(stats.connect_retries, 0u);
+}
+
+}  // namespace
+}  // namespace pulphd::serve

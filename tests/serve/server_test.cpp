@@ -143,7 +143,7 @@ class Client {
 /// outlives the thread.
 class Harness {
  public:
-  explicit Harness(const ModelRegistry& registry, ServeConfig config = {})
+  explicit Harness(ModelRegistry& registry, ServeConfig config = {})
       : server_(registry, std::move(config)) {
     int fds[2] = {-1, -1};
     EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -181,7 +181,7 @@ TEST_F(ServeConnectionTest, ServedPredictionsAreBitIdenticalToOfflineBatch) {
   const std::vector<hd::Trial> trials = query_trials();
   for (const std::string model : {"subj0", "subj1"}) {
     const std::vector<hd::AmDecision> offline =
-        registry_.resolve(model).classifier.predict_batch(trials);
+        registry_.resolve(model)->classifier.predict_batch(trials);
     client.send(format_classify_request(model, trials));
     EXPECT_EQ(client.read_line(),
               "ok classify model=" + model + " results=" + std::to_string(trials.size()));
@@ -202,7 +202,7 @@ TEST_F(ServeConnectionTest, DefaultRoutingAnswersWithTheResolvedName) {
   Client& client = harness.client();
   const std::vector<hd::Trial> trials = query_trials();
   const std::vector<hd::AmDecision> offline =
-      registry_.resolve("subj0").classifier.predict_batch(trials);
+      registry_.resolve("subj0")->classifier.predict_batch(trials);
   client.send(format_classify_request("", trials));  // no model= field
   EXPECT_EQ(client.read_line(), "ok classify model=subj0 results=3");
   for (const hd::AmDecision& expected : offline) {
@@ -286,7 +286,7 @@ TEST_F(ServeConnectionTest, BinaryClassifyIsBitIdenticalToOfflineBatch) {
   const std::vector<hd::Trial> trials = query_trials();
   for (const std::string model : {"subj0", "subj1"}) {
     const std::vector<hd::AmDecision> offline =
-        registry_.resolve(model).classifier.predict_batch(trials);
+        registry_.resolve(model)->classifier.predict_batch(trials);
     client.send(format_binary_classify_request(model, trials));
     const BinaryResponse response = client.read_frame();
     ASSERT_EQ(response.type, kFrameResults);
@@ -372,7 +372,7 @@ TEST(ServeListener, UnixSocketEndToEnd) {
 
   const std::vector<hd::Trial> trials = query_trials();
   const std::vector<hd::AmDecision> offline =
-      registry.resolve("subj1").classifier.predict_batch(trials);
+      registry.resolve("subj1")->classifier.predict_batch(trials);
   {
     Client client(connect_unix(config.unix_path));
     client.send(format_classify_request("subj1", trials));
@@ -453,7 +453,7 @@ TEST(ServeListener, MixedTextAndBinaryConnectionsShareOneListener) {
 
   const std::vector<hd::Trial> trials = query_trials();
   const std::vector<hd::AmDecision> offline =
-      registry.resolve("subj0").classifier.predict_batch(trials);
+      registry.resolve("subj0")->classifier.predict_batch(trials);
   {
     // One text and one binary client, interleaved on the same listener.
     Client text(connect_unix(config.unix_path));
@@ -508,7 +508,7 @@ TEST(ServeListener, PipelinedBinaryBurstIsAnsweredInOrder) {
     const std::vector<hd::Trial> subset(trials.begin(),
                                         trials.begin() + static_cast<std::ptrdiff_t>(count));
     const std::vector<hd::AmDecision> offline =
-        registry.resolve("subj0").classifier.predict_batch(subset);
+        registry.resolve("subj0")->classifier.predict_batch(subset);
     ASSERT_EQ(response.decisions.size(), offline.size());
     for (std::size_t i = 0; i < offline.size(); ++i) {
       EXPECT_EQ(response.decisions[i].distances, offline[i].distances);
@@ -540,7 +540,7 @@ TEST(ServeListener, SlowReaderBacklogIsFlushedByWritableEvents) {
   // entirely on EPOLLOUT resuming the flush.
   const std::vector<hd::Trial> trials(512, hd::Trial{{0.5f, 1.5f, 2.5f, 3.5f}});
   const std::vector<hd::AmDecision> offline =
-      registry.resolve("subj0").classifier.predict_batch(trials);
+      registry.resolve("subj0")->classifier.predict_batch(trials);
   constexpr std::size_t kRequests = 32;
   Client client(connect_unix(config.unix_path));
   std::string burst;

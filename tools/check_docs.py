@@ -18,6 +18,11 @@
    "disabled" list), and the fuzz targets documented in the doc match
    the pulphd_add_fuzzer() registrations in fuzz/CMakeLists.txt exactly,
    in both directions.
+5. docs/operations.md is in lockstep with the failpoint registry
+   (kRegisteredFailpoints in src/common/failpoint.cpp): every registered
+   point name is documented, and every dotted backticked name the doc
+   presents as a failpoint is actually registered — both directions, so a
+   stale doc or an undocumented probe fails CI.
 
 Exit code 0 = all good; 1 = findings (printed one per line).
 """
@@ -133,6 +138,38 @@ def check_protocol_lockstep():
     return problems
 
 
+FAILPOINT_ARRAY_RE = re.compile(
+    r"kRegisteredFailpoints\[\]\s*=\s*\{(.*?)\};", re.DOTALL
+)
+FAILPOINT_NAME_RE = re.compile(r'"([a-z]+\.[a-z]+)"')
+# A documented failpoint is a backticked dotted name like `io.write`; the
+# dotted shape keeps ordinary backticked identifiers out of the check.
+FAILPOINT_DOC_RE = re.compile(r"`([a-z]+\.[a-z]+)`")
+
+
+def check_failpoint_lockstep():
+    problems = []
+    source = (REPO / "src" / "common" / "failpoint.cpp").read_text(encoding="utf-8")
+    array = FAILPOINT_ARRAY_RE.search(source)
+    if not array:
+        return ["src/common/failpoint.cpp: kRegisteredFailpoints[] not found"]
+    registered = set(FAILPOINT_NAME_RE.findall(array.group(1)))
+    if not registered:
+        return ["src/common/failpoint.cpp: kRegisteredFailpoints[] is empty"]
+    doc_path = REPO / "docs" / "operations.md"
+    if not doc_path.exists():
+        return ["docs/operations.md is missing"]
+    documented = set(FAILPOINT_DOC_RE.findall(doc_path.read_text(encoding="utf-8")))
+    for name in sorted(registered - documented):
+        problems.append(f"docs/operations.md never documents failpoint `{name}`")
+    for name in sorted(documented - registered):
+        problems.append(
+            f"docs/operations.md documents failpoint `{name}` but "
+            "src/common/failpoint.cpp does not register it"
+        )
+    return problems
+
+
 FUZZER_DECL_RE = re.compile(r"pulphd_add_fuzzer\((\w+)\s+\w+\)")
 FUZZ_TARGET_DOC_RE = re.compile(r"`fuzz_(?!replay_)(\w+)`")
 
@@ -191,7 +228,8 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cli", help="path to a built pulphd_cli for the help-sync check")
     options = parser.parse_args()
-    problems = check_links() + check_protocol_lockstep() + check_development_lockstep()
+    problems = (check_links() + check_protocol_lockstep() + check_development_lockstep()
+                + check_failpoint_lockstep())
     if options.cli:
         problems += check_cli_help(options.cli)
     for problem in problems:
@@ -199,7 +237,7 @@ def main():
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    checked = "links + protocol lockstep + tidy/fuzz lockstep" + (
+    checked = "links + protocol lockstep + tidy/fuzz lockstep + failpoint lockstep" + (
         " + CLI help sync" if options.cli else "")
     print(f"docs OK ({checked})")
     return 0

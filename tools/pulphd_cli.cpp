@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/table.hpp"
 #include "emg/protocol.hpp"
 #include "hd/serialization.hpp"
@@ -49,7 +50,7 @@ const char kTopLevelHelp[] =
     "      frequency for 10 ms latency, power).\n"
     "  serve --model [NAME=]PATH [--model ...] (--socket PATH | --tcp PORT)\n"
     "        [--default NAME] [--threads T] [--workers W] [--max-conns N]\n"
-    "        [--idle-timeout SECONDS]\n"
+    "        [--idle-timeout SECONDS] [--request-timeout MS]\n"
     "      Long-lived multi-model classification daemon; see\n"
     "      `pulphd_cli serve --help`.\n"
     "\n"
@@ -59,8 +60,10 @@ const char kTopLevelHelp[] =
     "                bit-identical for any value)\n"
     "\n"
     "environment:\n"
-    "  PULPHD_BACKEND   force the SIMD kernel backend (portable|avx2|neon);\n"
-    "                   unset picks the widest backend the CPU supports\n"
+    "  PULPHD_BACKEND     force the SIMD kernel backend (portable|avx2|neon);\n"
+    "                     unset picks the widest backend the CPU supports\n"
+    "  PULPHD_FAILPOINTS  arm fault-injection points for chaos testing\n"
+    "                     (docs/operations.md); unset injects nothing\n"
     "\n"
     "`pulphd_cli <command> --help` prints that command's usage; commands\n"
     "exit 2 on a usage error.\n";
@@ -69,14 +72,17 @@ const char kServeHelp[] =
     "usage: pulphd_cli serve --model [NAME=]PATH [--model [NAME=]PATH ...]\n"
     "                        (--socket PATH | --tcp PORT) [--default NAME]\n"
     "                        [--threads T] [--workers W] [--max-conns N]\n"
-    "                        [--idle-timeout SECONDS]\n"
+    "                        [--idle-timeout SECONDS] [--request-timeout MS]\n"
     "\n"
     "Long-lived classification daemon: loads every --model once at startup,\n"
     "then answers wire-protocol requests (text phd1 or binary phd2,\n"
     "negotiated per connection; docs/protocol.md) until SIGINT/SIGTERM.\n"
     "Connections are multiplexed on one event loop; classify requests\n"
     "execute on a fixed worker pool. Requests are routed by their model=\n"
-    "field; requests naming no model go to the default model.\n"
+    "field; requests naming no model go to the default model. SIGHUP\n"
+    "reloads every model from its file without dropping connections; a\n"
+    "model that fails to reload keeps serving its previous version (the\n"
+    "wire `reload` request does the same per connection).\n"
     "\n"
     "flags:\n"
     "  --model [NAME=]PATH  register the serialized model at PATH under NAME\n"
@@ -100,6 +106,13 @@ const char kServeHelp[] =
     "  --idle-timeout SECONDS\n"
     "                       close a connection with no request in flight\n"
     "                       and no wire activity for this long\n"
+    "                       (0 = never; default 0)\n"
+    "  --request-timeout MS\n"
+    "                       shed a classify/reload request still queued\n"
+    "                       behind earlier pipelined work this many\n"
+    "                       milliseconds after arrival with an\n"
+    "                       `err code=timeout` response; a request already\n"
+    "                       executing is never interrupted\n"
     "                       (0 = never; default 0)\n";
 
 [[noreturn]] void usage_error(const char* help) {
@@ -332,6 +345,8 @@ ServeOptions parse_serve(int argc, char** argv) {
       opt.config.max_connections = parse_count(value, kServeHelp);
     } else if (flag == "--idle-timeout") {
       opt.config.idle_timeout = std::chrono::seconds(parse_count(value, kServeHelp));
+    } else if (flag == "--request-timeout") {
+      opt.config.request_timeout = std::chrono::milliseconds(parse_count(value, kServeHelp));
     } else {
       usage_error(kServeHelp);
     }
@@ -349,14 +364,18 @@ void handle_shutdown_signal(int) {
   if (auto* server = g_server.load()) server->stop();  // async-signal-safe (self-pipe write)
 }
 
+void handle_reload_signal(int) {
+  if (auto* server = g_server.load()) server->request_reload();  // async-signal-safe
+}
+
 int cmd_serve(int argc, char** argv) {
   const ServeOptions opt = parse_serve(argc, argv);
   serve::ModelRegistry registry;
   for (const auto& [name, path] : opt.models) {
-    const serve::ModelEntry& entry = registry.load_file(name, path, opt.threads);
-    const hd::ClassifierConfig& cfg = entry.classifier.config();
+    const serve::ModelSnapshot entry = registry.load_file(name, path, opt.threads);
+    const hd::ClassifierConfig& cfg = entry->classifier.config();
     std::printf("loaded model \"%s\" from %s (dim %zu, %zu channels, %zu classes)\n",
-                entry.name.c_str(), path.c_str(), cfg.dim, cfg.channels, cfg.classes);
+                entry->name.c_str(), path.c_str(), cfg.dim, cfg.channels, cfg.classes);
   }
   if (!opt.default_model.empty()) registry.set_default(opt.default_model);
   std::printf("default model: %s\n", registry.default_name().c_str());
@@ -376,6 +395,9 @@ int cmd_serve(int argc, char** argv) {
   sa.sa_handler = handle_shutdown_signal;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction hup{};
+  hup.sa_handler = handle_reload_signal;
+  sigaction(SIGHUP, &hup, nullptr);
 
   server.run();
   g_server.store(nullptr);
@@ -387,6 +409,9 @@ int cmd_serve(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    // Arm fault-injection points from PULPHD_FAILPOINTS before any I/O
+    // runs; a malformed spec is a hard startup error, not a silent no-op.
+    failpoint::configure_from_env();
     if (argc < 2) usage_error(kTopLevelHelp);
     const std::string command = argv[1];
     if (is_help_flag(command.c_str())) {

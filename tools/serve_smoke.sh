@@ -3,19 +3,42 @@
 # `pulphd_cli serve` on a Unix socket, then drive it with two scripted
 # python3 clients: a text phd1 session (models + routed classify +
 # default-route classify + quit) and a binary phd2 session (negotiation
-# plus a fully pipelined burst sent before any response is read). The
-# server is shut down with SIGINT and the exit checked clean. Used by
-# the CI docs job; runs anywhere with bash + python3.
+# plus a fully pipelined burst sent before any response is read), then
+# exercises the reliability surface: SIGHUP hot reload, wire-request
+# reload, and a kill -9 mid-checkpoint (stalled rename failpoint) that
+# must leave the previous model byte-identical with only an inert .tmp
+# orphan. The server is shut down with SIGINT and the exit checked
+# clean. Used by the CI docs job; runs anywhere with bash + python3.
 set -euo pipefail
 
 CLI=${1:?usage: serve_smoke.sh path/to/pulphd_cli}
 WORK=$(mktemp -d)
 SERVE_PID=""
+TRAIN_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$TRAIN_PID" ] && kill -9 "$TRAIN_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
+
+# One-shot text client: sends the request lines (argument 2, already
+# newline-terminated) plus a quit, prints everything the server answers.
+text_session() {  # text_session SOCKET REQUEST
+  python3 - "$1" "$2" <<'PYEOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(sys.argv[2].encode() + b"phd1 quit\n")
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())
+PYEOF
+}
 
 "$CLI" train "$WORK/s0.phd" --subject 0 --dim 2048 --name subj0 > /dev/null
 "$CLI" train "$WORK/s1.phd" --subject 1 --dim 2048 --name subj1 > /dev/null
@@ -160,10 +183,81 @@ assert types == [0x81, 0x82], [hex(t) for t in types]
 print("mid-frame disconnect survived OK")
 EOF
 
+# SIGHUP hot reload: retrain subj1 in place with a different seed, HUP
+# the daemon, and require that the same trial classifies differently —
+# the running process really swapped to the new file, without dropping
+# or restarting anything.
+CLASSIFY_REQ=$'phd1 classify model=subj1 trials=1\ntrial samples=3\n1 2 3 4\n2 3 4 5\n3 4 5 6\n'
+text_session "$WORK/phd.sock" "$CLASSIFY_REQ" | grep "^result" > "$WORK/before_reload.txt"
+"$CLI" train "$WORK/s1.phd" --subject 1 --dim 2048 --name subj1 --seed 0xabc > /dev/null
+kill -HUP "$SERVE_PID"
+for _ in $(seq 1 100); do
+  grep -q "^reload model=subj1 ok=1$" "$WORK/serve.log" && break
+  sleep 0.1
+done
+grep -q "pulphd serve: reload (SIGHUP):" "$WORK/serve.log"
+grep -q "^reload model=subj0 ok=1$" "$WORK/serve.log"
+grep -q "^reload model=subj1 ok=1$" "$WORK/serve.log"
+text_session "$WORK/phd.sock" "$CLASSIFY_REQ" | grep "^result" > "$WORK/after_reload.txt"
+if cmp -s "$WORK/before_reload.txt" "$WORK/after_reload.txt"; then
+  echo "SIGHUP reload did not change the served model"; exit 1
+fi
+
+# Wire-request reload (phd1 reload with no model= reloads everything)
+# answers per-model status rows on the same connection.
+text_session "$WORK/phd.sock" $'phd1 reload\n' > "$WORK/reload.txt"
+grep -q "^ok reload count=2$" "$WORK/reload.txt"
+grep -q "^reload model=subj0 ok=1$" "$WORK/reload.txt"
+grep -q "^reload model=subj1 ok=1$" "$WORK/reload.txt"
+
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""
 grep -q "shut down" "$WORK/serve.log"
 [ ! -S "$WORK/phd.sock" ]   # socket path unlinked on shutdown
+
+# Crash mid-checkpoint: retrain over an existing model file with the
+# rename failpoint stalled wide open, kill -9 the trainer inside the
+# stall window, and require the atomic-write contract: the old file is
+# byte-identical, only an inert .tmp orphan is left, a daemon serves
+# the survivor, and the next clean save sweeps the orphan away.
+"$CLI" train "$WORK/crash.phd" --subject 0 --dim 2048 --name crash > /dev/null
+cp "$WORK/crash.phd" "$WORK/crash.phd.golden"
+PULPHD_FAILPOINTS="io.rename=stall(10000)" \
+  "$CLI" train "$WORK/crash.phd" --subject 0 --dim 2048 --name crash --seed 0xdead \
+  > /dev/null 2>&1 &
+TRAIN_PID=$!
+for _ in $(seq 1 200); do
+  [ -f "$WORK/crash.phd.tmp" ] && break
+  kill -0 "$TRAIN_PID" 2>/dev/null || { echo "trainer died before the stall"; exit 1; }
+  sleep 0.1
+done
+[ -f "$WORK/crash.phd.tmp" ] || { echo "temp sibling never appeared"; exit 1; }
+kill -9 "$TRAIN_PID"
+wait "$TRAIN_PID" 2>/dev/null || true
+TRAIN_PID=""
+cmp "$WORK/crash.phd" "$WORK/crash.phd.golden"   # old checkpoint untouched
+[ -f "$WORK/crash.phd.tmp" ]                     # orphan left behind, inert
+
+"$CLI" serve --model "$WORK/crash.phd" --socket "$WORK/crash.sock" \
+  > "$WORK/crash_serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$WORK/crash.sock" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/crash_serve.log"; exit 1; }
+  sleep 0.1
+done
+text_session "$WORK/crash.sock" $'phd1 classify trials=1\ntrial samples=1\n1 2 3 4\n' \
+  > "$WORK/crash_out.txt"
+grep -q "^ok classify model=crash results=1$" "$WORK/crash_out.txt"
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+"$CLI" train "$WORK/crash.phd" --subject 0 --dim 2048 --name crash --seed 0xdead > /dev/null
+[ ! -f "$WORK/crash.phd.tmp" ]   # the clean save swept the orphan
+if cmp -s "$WORK/crash.phd" "$WORK/crash.phd.golden"; then
+  echo "clean retrain did not replace the checkpoint"; exit 1
+fi
 
 echo "serve smoke OK"
