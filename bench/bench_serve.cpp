@@ -26,6 +26,13 @@
 // until served. The observed retry counters land in the JSON under
 // "retry" — a degraded run is visible in the artifact, never silent.
 //
+// A streaming scenario opens one phd2 stream session per connection and
+// replays hop-sized pushes, each waiting for its decision frame: the
+// mode="stream" rows report windows decided ("requests") and per-window
+// send→decision latency (p50/p99) — the window→decision number the
+// streaming protocol exists to bound. Every decision frame is compared
+// byte-for-byte against the offline predict_batch path.
+//
 // Flags: --quick (CI smoke: fewer connections/requests), --out=PATH.
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -61,6 +68,8 @@ using Clock = std::chrono::steady_clock;
 constexpr std::size_t kTrialsPerRequest = 32;
 constexpr std::size_t kSamplesPerTrial = 20;
 constexpr std::size_t kPipelineDepth = 8;
+constexpr std::size_t kStreamWindow = 20;  ///< samples per decision window
+constexpr std::size_t kStreamHop = 5;      ///< samples between decisions
 const char kModelName[] = "bench";
 
 hd::HdClassifier bench_classifier() {
@@ -99,6 +108,18 @@ std::vector<hd::Trial> bench_trials() {
     }
   }
   return trials;
+}
+
+/// A continuous sample stream long enough for `windows` hop-spaced decisions.
+std::vector<hd::Sample> bench_stream(std::size_t windows) {
+  const std::size_t total = kStreamWindow + (windows - 1) * kStreamHop;
+  Xoshiro256StarStar rng(0x57e4);
+  std::vector<hd::Sample> stream(total);
+  for (auto& sample : stream) {
+    sample.resize(32);
+    for (auto& v : sample) v = static_cast<float>(rng.next() % 7000u) / 1000.0f;
+  }
+  return stream;
 }
 
 // --- blocking client plumbing ---------------------------------------------
@@ -145,7 +166,7 @@ std::string read_exact(int fd, std::size_t bytes) {
 // --- rows ------------------------------------------------------------------
 
 struct ServeRow {
-  std::string mode;  ///< "text" or "binary"
+  std::string mode;  ///< "text", "binary", or "stream" (per-window latency)
   std::size_t connections = 1;
   std::size_t pipeline = 1;
   std::size_t requests = 0;  ///< total across all connections
@@ -228,6 +249,119 @@ ServeRow run_load(const std::string& socket_path, bool binary, const std::string
   row.pipeline = depth;
   row.requests = connections * requests_per_connection;
   row.bytes_per_request = request.size();
+  const double seconds = std::chrono::duration<double>(end - begin).count();
+  row.requests_per_s = static_cast<double>(row.requests) / seconds;
+  row.p50_ms = percentile(all_ms, 0.50);
+  row.p99_ms = percentile(all_ms, 0.99);
+  return row;
+}
+
+// --- streaming scenario -----------------------------------------------------
+
+/// Precomputed bytes for one whole streaming session on the binary wire:
+/// open, a prefill push (window − hop samples, emits nothing), then one
+/// hop-sized push per window — each of which the server must answer with
+/// exactly one decision frame, byte-identical to the offline batch path.
+struct StreamScript {
+  std::string open_request;
+  std::string opened_expected;
+  std::string prefill_request;
+  std::string prefill_expected;
+  std::vector<std::string> push_requests;   ///< one per window
+  std::vector<std::string> push_expected;   ///< stream_windows(w, {offline[w]})
+  std::string close_request;
+  std::string closed_expected;
+};
+
+StreamScript make_stream_script(const hd::HdClassifier& classifier, std::size_t windows) {
+  const std::vector<hd::Sample> stream = bench_stream(windows);
+  std::vector<hd::Trial> slices(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    slices[w].assign(stream.begin() + static_cast<std::ptrdiff_t>(w * kStreamHop),
+                     stream.begin() + static_cast<std::ptrdiff_t>(w * kStreamHop + kStreamWindow));
+  }
+  const std::vector<hd::AmDecision> offline = classifier.predict_batch(slices);
+
+  serve::ResponseEncoder encoder(serve::Wire::kBinary);
+  StreamScript script;
+  script.open_request =
+      serve::format_binary_stream_open_request(kModelName, kStreamWindow, kStreamHop);
+  script.opened_expected = encoder.stream_opened(kModelName, kStreamWindow, kStreamHop);
+  const std::span<const hd::Sample> samples(stream);
+  script.prefill_request = serve::format_binary_stream_push_request(
+      samples.subspan(0, kStreamWindow - kStreamHop));
+  script.prefill_expected = encoder.stream_windows(0, std::span<const hd::AmDecision>());
+  for (std::size_t w = 0; w < windows; ++w) {
+    script.push_requests.push_back(serve::format_binary_stream_push_request(
+        samples.subspan(kStreamWindow - kStreamHop + w * kStreamHop, kStreamHop)));
+    script.push_expected.push_back(
+        encoder.stream_windows(w, std::span<const hd::AmDecision>(&offline[w], 1)));
+  }
+  script.close_request = serve::format_binary_command(serve::kFrameStreamClose);
+  script.closed_expected = encoder.stream_closed(windows);
+  return script;
+}
+
+/// One connection running one full streaming session, unpipelined: each
+/// hop push waits for its decision frame, and the send→decision time is
+/// the per-window latency this benchmark exists to publish. Every response
+/// is compared byte-for-byte against the offline path.
+void drive_stream_connection(const std::string& socket_path, const StreamScript& script,
+                             std::vector<double>& latencies_ms, std::atomic<int>& failures) {
+  try {
+    const int fd = connect_unix(socket_path);
+    send_all(fd, serve::kBinaryMagic);
+    const auto exchange = [fd](const std::string& request, const std::string& expected) {
+      send_all(fd, request);
+      if (read_exact(fd, expected.size()) != expected) {
+        throw std::runtime_error(
+            "bench_serve: stream response bytes diverged from offline path");
+      }
+    };
+    exchange(script.open_request, script.opened_expected);
+    exchange(script.prefill_request, script.prefill_expected);
+    for (std::size_t w = 0; w < script.push_requests.size(); ++w) {
+      const auto t0 = Clock::now();
+      exchange(script.push_requests[w], script.push_expected[w]);
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    }
+    exchange(script.close_request, script.closed_expected);
+    ::close(fd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream worker: %s\n", e.what());
+    failures.fetch_add(1);
+  }
+}
+
+ServeRow run_stream(const std::string& socket_path, const StreamScript& script,
+                    std::size_t connections) {
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const auto begin = Clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      drive_stream_connection(socket_path, script, latencies[c], failures);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = Clock::now();
+  if (failures.load() != 0) throw std::runtime_error("bench_serve: stream scenario failed");
+
+  std::vector<double> all_ms;
+  for (const auto& per_conn : latencies) {
+    all_ms.insert(all_ms.end(), per_conn.begin(), per_conn.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+
+  ServeRow row;
+  row.mode = "stream";
+  row.connections = connections;
+  row.pipeline = 1;  // hop pushes are latency probes, never overlapped
+  row.requests = connections * script.push_requests.size();  // = windows decided
+  row.bytes_per_request = script.push_requests.empty() ? 0 : script.push_requests[0].size();
   const double seconds = std::chrono::duration<double>(end - begin).count();
   row.requests_per_s = static_cast<double>(row.requests) / seconds;
   row.p50_ms = percentile(all_ms, 0.50);
@@ -342,6 +476,8 @@ void write_json(const std::vector<ServeRow>& rows, const serve::RetryStats& retr
   out << "  \"serve_workers\": " << workers << ",\n";
   out << "  \"trials_per_request\": " << kTrialsPerRequest << ",\n";
   out << "  \"samples_per_trial\": " << kSamplesPerTrial << ",\n";
+  out << "  \"stream_window\": " << kStreamWindow << ",\n";
+  out << "  \"stream_hop\": " << kStreamHop << ",\n";
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n  \"rows\": [\n";
   char buf[64];
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -447,12 +583,23 @@ int main(int argc, char** argv) {
                                 kPipelineDepth, per_conn));
       }
     }
+    // Streaming scenario: window→decision latency, the number the streaming
+    // protocol exists to bound. Every decision frame is byte-checked against
+    // the offline path, so this is also the streaming correctness preflight.
+    const StreamScript script = make_stream_script(
+        registry.resolve(kModelName)->classifier, quick ? std::size_t{40} : std::size_t{300});
+    for (const std::size_t conns : connection_sweep) {
+      rows.push_back(run_stream(config.unix_path, script, conns));
+    }
+    std::printf("stream preflight: %zu windows/session bit-identical to offline\n",
+                script.push_requests.size());
     print_rows(rows);
 
     // The headline number this benchmark exists to track.
     double best_text = 0.0;
     double best_binary = 0.0;
     for (const ServeRow& r : rows) {
+      if (r.mode == "stream") continue;  // windows/s, not comparable to requests/s
       double& best = r.mode == "binary" ? best_binary : best_text;
       best = std::max(best, r.requests_per_s);
     }

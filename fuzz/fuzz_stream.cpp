@@ -1,0 +1,6 @@
+// libFuzzer entry point for the streaming-session surface (see harness.hpp).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return pulphd::fuzz::stream_one_input(data, size);
+}

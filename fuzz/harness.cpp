@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "hd/classifier.hpp"
+#include "hd/encoder.hpp"
 #include "hd/serialization.hpp"
 #include "serve/protocol.hpp"
 
@@ -174,6 +176,150 @@ int model_load_one_input(const std::uint8_t* data, std::size_t size) {
     FUZZ_ASSERT(model.name.empty() || hd::is_valid_model_name(model.name));
   } catch (const std::invalid_argument&) {  // ClassifierConfig::validate
   } catch (const std::runtime_error&) {     // malformed stream
+  }
+  return 0;
+}
+
+namespace {
+
+/// Sequential byte reader over the fuzz input; returns 0 once exhausted
+/// (callers bound their loops on done()).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  bool done() const { return pos_ >= size_; }
+  std::uint8_t u8() { return done() ? 0 : data_[pos_++]; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+int stream_one_input(const std::uint8_t* data, std::size_t size) {
+  if (size < 5) return 0;
+  ByteReader bytes(data, size);
+
+  // The model/session shape is input-derived but tiny: each iteration
+  // builds a fresh classifier, so the item vectors stay cheap.
+  hd::ClassifierConfig cfg;
+  cfg.dim = 64;
+  cfg.levels = 8;
+  cfg.max_value = 7.0;
+  cfg.channels = 1 + bytes.u8() % 4;
+  cfg.ngram = 1 + bytes.u8() % 3;
+  std::size_t window = cfg.ngram + bytes.u8() % 6;
+  std::size_t hop = 1 + bytes.u8() % 7;
+  const hd::HdClassifier clf(cfg);
+
+  // Pass 1: differential op interpreter. A shadow buffer replays the exact
+  // samples pushed so far; every window the session emits must be
+  // bit-identical to encode_query over the shadow's buffered slice, and
+  // the lifecycle counters must track the shadow exactly.
+  {
+    hd::StreamingEncoder session = clf.make_streaming_encoder();
+    session.configure(window, hop);
+    hd::Trial shadow;
+    std::size_t windows = 0;
+    std::uint32_t sample_counter = 0;
+    const auto next_sample = [&] {
+      hd::Sample sample(cfg.channels);
+      for (auto& v : sample) {
+        v = static_cast<float>((13 * sample_counter++) % 70u) / 10.0f;
+      }
+      return sample;
+    };
+    for (int op = 0; op < 48 && !bytes.done(); ++op) {
+      switch (bytes.u8() % 8) {
+        case 6:  // reset: fresh recording, same shape
+          session.reset();
+          shadow.clear();
+          windows = 0;
+          break;
+        case 7: {  // reconfigure: new shape, stream position restarts
+          window = cfg.ngram + bytes.u8() % 6;
+          hop = 1 + bytes.u8() % 7;
+          session.configure(window, hop);
+          shadow.clear();
+          windows = 0;
+          break;
+        }
+        default: {  // push 1..9 samples (the common op, by weight)
+          const std::size_t count = 1 + bytes.u8() % 9;
+          hd::Trial chunk;
+          for (std::size_t i = 0; i < count; ++i) chunk.push_back(next_sample());
+          shadow.insert(shadow.end(), chunk.begin(), chunk.end());
+          std::vector<hd::Hypervector> queries;
+          session.push(chunk, queries);
+          for (const hd::Hypervector& query : queries) {
+            const std::size_t start = windows * hop;
+            FUZZ_ASSERT(start + window <= shadow.size());
+            const hd::Trial slice(shadow.begin() + static_cast<std::ptrdiff_t>(start),
+                                  shadow.begin() + static_cast<std::ptrdiff_t>(start + window));
+            FUZZ_ASSERT(query == clf.encode_query(slice));
+            ++windows;
+          }
+          // Every completed window was emitted: the next one is the first
+          // whose tail the shadow does not yet hold.
+          FUZZ_ASSERT(windows * hop + window > shadow.size());
+          break;
+        }
+      }
+      FUZZ_ASSERT(session.samples_pushed() == shadow.size());
+      FUZZ_ASSERT(session.windows_emitted() == windows);
+    }
+  }
+
+  // Pass 2: interleaved stream frames (plus reloads and garbage) through
+  // the full session state machine in input-derived chunkings — the wire
+  // shape a streaming client actually produces, which the generic phd2
+  // fuzzer only reaches by accident.
+  {
+    std::string wire(serve::kBinaryMagic);
+    for (int frame = 0; frame < 16 && !bytes.done(); ++frame) {
+      switch (bytes.u8() % 6) {
+        case 0:
+          wire += serve::format_binary_stream_open_request(
+              "m", 1 + bytes.u8() % 64, 1 + bytes.u8() % 16);
+          break;
+        case 1: {
+          const std::size_t samples = bytes.u8() % 4;
+          const std::size_t channels = 1 + bytes.u8() % 4;
+          hd::Trial chunk(samples, hd::Sample(channels));
+          for (auto& sample : chunk) {
+            for (auto& v : sample) v = static_cast<float>(bytes.u8());
+          }
+          wire += serve::format_binary_stream_push_request(chunk);
+          break;
+        }
+        case 2:
+          wire += serve::format_binary_command(serve::kFrameStreamClose);
+          break;
+        case 3:
+          wire += serve::format_binary_reload_request("m");
+          break;
+        case 4:
+          wire += serve::format_binary_command(serve::kFramePing);
+          break;
+        default: {  // garbage frame: arbitrary type byte, tiny arbitrary body
+          const std::uint8_t type = bytes.u8();
+          const std::size_t body = bytes.u8() % 8;
+          std::string payload(1, static_cast<char>(type));
+          for (std::size_t i = 0; i < body; ++i) {
+            payload += static_cast<char>(bytes.u8());
+          }
+          for (int i = 0; i < 4; ++i) {
+            wire += static_cast<char>((payload.size() >> (8 * i)) & 0xFF);
+          }
+          wire += payload;
+          break;
+        }
+      }
+    }
+    drive_session(reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size(),
+                  {/*max_line_bytes=*/256, /*max_frame_bytes=*/1024});
   }
   return 0;
 }

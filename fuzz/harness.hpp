@@ -33,4 +33,12 @@ int phd2_one_input(const std::uint8_t* data, std::size_t size);
 /// loads must satisfy the model's structural invariants.
 int model_load_one_input(const std::uint8_t* data, std::size_t size);
 
+/// Streaming sessions: a differential interpreter that drives a
+/// StreamingEncoder through input-derived push/reset/reconfigure ops while
+/// a shadow buffer checks every emitted window bit-for-bit against the
+/// buffered encode_query path, then interleaved binary stream frames
+/// (open/push/close/reload/garbage) through a ConnectionSession in
+/// input-derived chunkings.
+int stream_one_input(const std::uint8_t* data, std::size_t size);
+
 }  // namespace pulphd::fuzz

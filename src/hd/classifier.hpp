@@ -122,6 +122,21 @@ class HdClassifier {
     return am_.classify_batch(queries, config_.threads);
   }
 
+  /// The seed-derived tie-break row used when bundling a query's N-grams
+  /// (even gram counts only) — the one StreamingEncoder must share to stay
+  /// bit-identical with encode_query.
+  const Hypervector& query_tie_break() const noexcept { return query_tie_break_; }
+
+  /// Builds a streaming session encoder bound to this model's spatial
+  /// encoder, N-gram depth, and query tie-break. Its per-window queries are
+  /// bit-identical to encode_query over the equivalent buffered slices, so
+  /// predict_encoded on them matches predict_batch. The classifier must
+  /// outlive the returned encoder (servers pin the model snapshot for the
+  /// session's lifetime).
+  StreamingEncoder make_streaming_encoder() const {
+    return StreamingEncoder(spatial_, config_.ngram, query_tie_break_);
+  }
+
   ModelFootprint footprint() const noexcept;
 
  private:

@@ -73,6 +73,29 @@ FusedArena& fused_arena() {
   return arena;
 }
 
+// The shared gram pump of the fused and streaming paths: chunked packed
+// spatial encode feeding the sliding N-gram recurrence, one callback per
+// complete window. `temporal` carries state across calls (the streaming
+// path resumes it mid-stream; the fused path hands in a freshly reset one),
+// and with n == 1 it is bypassed entirely — every spatial is its own
+// 1-gram.
+template <typename PerGram>
+void pump_grams(const SpatialEncoder& spatial, std::size_t n, TemporalEncoder& temporal,
+                std::span<Hypervector> chunk_buf, Hypervector& gram_scratch,
+                std::span<const std::vector<float>> samples, PerGram&& per_gram) {
+  for (std::size_t base = 0; base < samples.size(); base += chunk_buf.size()) {
+    const std::size_t chunk = std::min(chunk_buf.size(), samples.size() - base);
+    spatial.encode_batch(samples.subspan(base, chunk), chunk_buf.subspan(0, chunk));
+    for (std::size_t s = 0; s < chunk; ++s) {
+      if (n == 1) {
+        per_gram(chunk_buf[s]);
+      } else if (temporal.push(chunk_buf[s], &gram_scratch)) {
+        per_gram(gram_scratch);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 SpatialEncoder::SpatialEncoder(const ItemMemory& im, const ContinuousItemMemory& cim,
@@ -238,6 +261,78 @@ std::vector<Hypervector> TemporalEncoder::encode_sequence(std::span<const Hyperv
   return out;
 }
 
+StreamingEncoder::StreamingEncoder(const SpatialEncoder& spatial, std::size_t n,
+                                   Hypervector tie_break)
+    : spatial_(&spatial),
+      n_(n),
+      tie_break_(std::move(tie_break)),
+      temporal_(n >= 1 ? n : 1, spatial.dim()),
+      gram_(spatial.dim()) {
+  require(n >= 1, "StreamingEncoder: n must be >= 1");
+  require(tie_break_.dim() == spatial.dim(), "StreamingEncoder: tie-break dim mismatch");
+}
+
+void StreamingEncoder::configure(std::size_t window, std::size_t hop) {
+  require(window >= n_, "StreamingEncoder::configure: window must be >= n");
+  require(hop >= 1, "StreamingEncoder::configure: hop must be >= 1");
+  window_ = window;
+  hop_ = hop;
+  // One counter bundle per concurrently open window; reshaping reuses the
+  // slots' plane buffers, and each slot is (re)provisioned the moment its
+  // window starts, so no per-window allocation happens mid-stream after
+  // warmup.
+  slots_.resize(active_windows(window, hop, n_));
+  if (chunk_.empty() || chunk_.front().dim() != dim()) {
+    chunk_.assign(kFusedChunkSamples, Hypervector(dim()));
+  }
+  reset();
+}
+
+void StreamingEncoder::reset() noexcept {
+  temporal_.reset();
+  samples_pushed_ = 0;
+  grams_seen_ = 0;
+  windows_emitted_ = 0;
+}
+
+void StreamingEncoder::on_gram(const kernels::Backend& backend, const Word* gram_words,
+                               std::vector<Hypervector>& out) {
+  const std::size_t j = grams_seen_++;  // gram j spans samples j .. j+n-1
+  const std::size_t words = words_for_dim(dim());
+  const std::size_t span = window_ - n_;  // grams per window, minus one
+  // Window w owns grams w*hop .. w*hop + span; gram j therefore feeds every
+  // window whose start lies in [j - span, j] on the hop grid. The slot pool
+  // holds exactly that many bundles, so w % slots size is collision-free.
+  if (j % hop_ == 0) {
+    slots_[(j / hop_) % slots_.size()].reset(words, span + 1);
+  }
+  const std::size_t w_hi = j / hop_;
+  const std::size_t w_lo = j >= span ? (j - span + hop_ - 1) / hop_ : 0;
+  for (std::size_t w = w_lo; w <= w_hi; ++w) {
+    slots_[w % slots_.size()].add(backend, gram_words);
+  }
+  if (j >= span && (j - span) % hop_ == 0) {
+    // Gram j is the last of window (j - span) / hop — read its bundle out.
+    // Padding invariants match FusedTrialEncoder::encode_query: gram and
+    // tie-break padding bits are zero, so the majority's are too.
+    out.emplace_back(dim());
+    slots_[((j - span) / hop_) % slots_.size()].majority(backend, tie_break_.words().data(),
+                                                         out.back().mutable_words().data());
+    ++windows_emitted_;
+  }
+}
+
+std::size_t StreamingEncoder::push(std::span<const std::vector<float>> samples,
+                                   std::vector<Hypervector>& out) {
+  require(configured(), "StreamingEncoder::push: configure() must be called first");
+  const std::size_t emitted_before = out.size();
+  const kernels::Backend& backend = kernels::active_backend();
+  pump_grams(*spatial_, n_, temporal_, std::span<Hypervector>(chunk_), gram_, samples,
+             [&](const Hypervector& gram) { on_gram(backend, gram.words().data(), out); });
+  samples_pushed_ += samples.size();
+  return out.size() - emitted_before;
+}
+
 FusedTrialEncoder::FusedTrialEncoder(const SpatialEncoder& spatial, std::size_t n)
     : spatial_(&spatial), n_(n) {
   require(n >= 1, "FusedTrialEncoder: n must be >= 1");
@@ -246,28 +341,16 @@ FusedTrialEncoder::FusedTrialEncoder(const SpatialEncoder& spatial, std::size_t 
 template <typename PerGram>
 void FusedTrialEncoder::for_each_ngram(std::span<const std::vector<float>> trial,
                                        PerGram&& per_gram) const {
+  if (trial.empty()) return;
   FusedArena& arena = fused_arena();
   const std::size_t chunk_samples = std::min<std::size_t>(kFusedChunkSamples, trial.size());
   std::span<Hypervector> spatials = arena.spatials_for(chunk_samples, dim());
-  if (n_ == 1) {
-    // Pass-through fast path: every spatial is its own 1-gram; skip the
-    // window ring and recurrence entirely.
-    for (std::size_t base = 0; base < trial.size(); base += chunk_samples) {
-      const std::size_t chunk = std::min(chunk_samples, trial.size() - base);
-      spatial_->encode_batch(trial.subspan(base, chunk), spatials.subspan(0, chunk));
-      for (std::size_t s = 0; s < chunk; ++s) per_gram(spatials[s]);
-    }
-    return;
-  }
-  TemporalEncoder& temporal = arena.temporal_for(n_, dim());
-  Hypervector& gram = arena.gram_for(dim());
-  for (std::size_t base = 0; base < trial.size(); base += chunk_samples) {
-    const std::size_t chunk = std::min(chunk_samples, trial.size() - base);
-    spatial_->encode_batch(trial.subspan(base, chunk), spatials.subspan(0, chunk));
-    for (std::size_t s = 0; s < chunk; ++s) {
-      if (temporal.push(spatials[s], &gram)) per_gram(gram);
-    }
-  }
+  // The n == 1 pass-through inside the pump never touches the temporal
+  // ring, so the arena encoder (and its reset) is only materialized for
+  // real windows.
+  TemporalEncoder& temporal = arena.temporal_for(n_ == 1 ? 1 : n_, dim());
+  pump_grams(*spatial_, n_, temporal, spatials, arena.gram_for(dim()), trial,
+             std::forward<PerGram>(per_gram));
 }
 
 Hypervector FusedTrialEncoder::encode_query(std::span<const std::vector<float>> trial,

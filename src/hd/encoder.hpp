@@ -21,6 +21,7 @@
 
 #include "hd/item_memory.hpp"
 #include "hd/ops.hpp"
+#include "kernels/bitsliced.hpp"
 
 namespace pulphd::kernels {
 struct Backend;
@@ -117,6 +118,95 @@ class TemporalEncoder {
   Hypervector gram_;     ///< N-gram of the current window (valid when fill_ == n)
   Hypervector scratch_;  ///< rotation target (rotate_into needs dst != src)
   Hypervector rotated_new_;
+};
+
+/// Resumable per-session streaming encoder — the fused pipeline (packed
+/// spatial chunks -> sliding N-gram recurrence -> bit-sliced counter
+/// bundling) restructured as an explicit configure/push/emit/reset state
+/// object, so an always-on client can feed samples as they arrive and
+/// collect one bundled query hypervector per hop instead of buffering a
+/// whole trial.
+///
+/// Lifecycle: construct against a model's spatial encoder, N-gram depth and
+/// query tie-break, then `configure(window, hop)` the sliding decision
+/// window. Every `push` may span any number of samples (including zero) and
+/// appends one query hypervector per window completed inside the push;
+/// `reset()` drops the stream position but keeps the window/hop so a session
+/// can be reused, and re-`configure` reshapes it mid-stream.
+///
+/// Window w covers samples [w*hop, w*hop + window); its query is the
+/// majority bundle of the window's N-grams, bit-identical to
+/// FusedTrialEncoder::encode_query (and thus HdClassifier::encode_query)
+/// over the equivalent buffered slice — the N-gram at position j depends
+/// only on samples j..j+n-1, so the continuous recurrence and a fresh
+/// per-slice pass produce the same bits (pinned by
+/// tests/hd/streaming_encoder_test). All state (the n-deep temporal ring,
+/// the spatial chunk buffer, and one bit-sliced counter bundle per
+/// concurrently open window) is owned by the object and carried across
+/// pushes, so a session may migrate between threads as long as calls are
+/// externally serialized.
+class StreamingEncoder {
+ public:
+  /// `spatial` must outlive the encoder; `n` is the temporal window size and
+  /// `tie_break` the query-bundle tie-break row (copied; only consulted for
+  /// windows with an even N-gram count).
+  StreamingEncoder(const SpatialEncoder& spatial, std::size_t n, Hypervector tie_break);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t dim() const noexcept { return spatial_->dim(); }
+  std::size_t channels() const noexcept { return spatial_->channels(); }
+
+  /// Overlapping windows simultaneously being bundled for a window/hop
+  /// shape: floor((window - n) / hop) + 1 — the counter-slot pool size and
+  /// the per-sample bundling cost factor.
+  static std::size_t active_windows(std::size_t window, std::size_t hop, std::size_t n) noexcept {
+    return (window - n) / hop + 1;
+  }
+
+  /// (Re)shapes the session: emit one decision per `hop` samples over a
+  /// sliding `window`. Requires window >= n and hop >= 1; resets the stream
+  /// position and preallocates the counter-slot pool. Throws
+  /// std::invalid_argument on a bad shape.
+  void configure(std::size_t window, std::size_t hop);
+
+  /// Drops all stream state (temporal ring, counters, sample position) but
+  /// keeps the configured window/hop — the "new recording, same session"
+  /// reset.
+  void reset() noexcept;
+
+  bool configured() const noexcept { return window_ != 0; }
+  std::size_t window() const noexcept { return window_; }
+  std::size_t hop() const noexcept { return hop_; }
+
+  /// Samples consumed since the last configure/reset.
+  std::size_t samples_pushed() const noexcept { return samples_pushed_; }
+  /// Windows emitted since the last configure/reset.
+  std::size_t windows_emitted() const noexcept { return windows_emitted_; }
+
+  /// Feeds `samples` (each `channels()` floats) in chronological order and
+  /// appends the query hypervector of every window completed by them to
+  /// `out`; returns how many were appended. Window k's query lands before
+  /// window k+1's, and splitting a stream across pushes at any boundary
+  /// yields bit-identical output. Throws std::invalid_argument when not
+  /// configured.
+  std::size_t push(std::span<const std::vector<float>> samples, std::vector<Hypervector>& out);
+
+ private:
+  void on_gram(const kernels::Backend& backend, const Word* gram_words,
+               std::vector<Hypervector>& out);
+
+  const SpatialEncoder* spatial_;
+  std::size_t n_;
+  Hypervector tie_break_;
+  std::size_t window_ = 0;  ///< 0 = not configured
+  std::size_t hop_ = 0;
+  TemporalEncoder temporal_;               ///< preallocated n-deep ring
+  std::vector<Hypervector> chunk_;         ///< spatial chunk buffer
+  Hypervector gram_;                       ///< recurrence output scratch
+  std::vector<kernels::CounterBundle> slots_;  ///< one per concurrently open window
+  std::size_t samples_pushed_ = 0;
+  std::size_t grams_seen_ = 0;
+  std::size_t windows_emitted_ = 0;
 };
 
 /// Fused single-pass trial encoder: quantize/bind/majority (spatial), the

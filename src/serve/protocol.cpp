@@ -89,6 +89,12 @@ void put_u32(std::string& out, std::uint32_t v) {
   }
 }
 
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
 void put_f32(std::string& out, float v) {
   std::uint32_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
@@ -126,6 +132,16 @@ class PayloadReader {
       v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
     }
     pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64(std::string_view what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 8;
     return v;
   }
 
@@ -227,6 +243,67 @@ Request decode_reload_payload(PayloadReader& reader) {
   return Request{std::move(request)};
 }
 
+/// Model-independent stream-open shape checks, shared by both wires. The
+/// model-dependent window >= ngram check happens at execution time.
+void validate_stream_shape(std::size_t window, std::size_t hop) {
+  if (window == 0) fail(kErrBadRequest, "stream-open needs window >= 1");
+  if (hop == 0) fail(kErrBadRequest, "stream-open needs hop >= 1");
+  if (window > kMaxSamplesPerTrial) {
+    fail(kErrTooLarge, "window=" + std::to_string(window) + " exceeds the per-trial limit of " +
+                           std::to_string(kMaxSamplesPerTrial));
+  }
+  // Upper bound of the open-window overlap over any model (n >= 1); keeps
+  // the per-session counter-slot pool small.
+  const std::size_t overlap = (window - 1) / hop + 1;
+  if (overlap > kMaxStreamActiveWindows) {
+    fail(kErrTooLarge, "window=" + std::to_string(window) + " hop=" + std::to_string(hop) +
+                           " overlaps " + std::to_string(overlap) +
+                           " windows, limit is " + std::to_string(kMaxStreamActiveWindows));
+  }
+}
+
+Request decode_stream_open_payload(PayloadReader& reader) {
+  StreamOpenRequest request;
+  const std::uint8_t name_len = reader.u8("stream-open model-name length");
+  request.model = std::string(reader.bytes(name_len, "stream-open model name"));
+  if (name_len > 0 && !hd::is_valid_model_name(request.model)) {
+    fail(kErrBadRequest, "invalid model name \"" + request.model + "\"");
+  }
+  request.window = reader.u32("stream-open window");
+  request.hop = reader.u32("stream-open hop");
+  reader.expect_exhausted("stream-open");
+  validate_stream_shape(request.window, request.hop);
+  return Request{std::move(request)};
+}
+
+Request decode_stream_push_payload(PayloadReader& reader) {
+  StreamPushRequest request;
+  const std::uint32_t samples = reader.u32("stream-push sample count");
+  const std::uint16_t channels = reader.u16("stream-push channel count");
+  if (samples == 0) fail(kErrBadRequest, "stream-push needs samples >= 1");
+  if (samples > kMaxSamplesPerTrial) {
+    fail(kErrTooLarge, "samples=" + std::to_string(samples) +
+                           " exceeds the per-trial limit of " +
+                           std::to_string(kMaxSamplesPerTrial));
+  }
+  if (channels == 0) fail(kErrBadRequest, "stream-push needs channels >= 1");
+  request.samples.reserve(samples);
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    hd::Sample sample;
+    sample.reserve(channels);
+    for (std::uint16_t c = 0; c < channels; ++c) {
+      const float value = reader.f32("stream-push samples");
+      if (!std::isfinite(value)) {
+        fail(kErrBadRequest, "non-finite sample value in stream-push");
+      }
+      sample.push_back(value);
+    }
+    request.samples.push_back(std::move(sample));
+  }
+  reader.expect_exhausted("stream-push");
+  return Request{std::move(request)};
+}
+
 Request decode_request_payload(std::string_view payload) {
   if (payload.empty()) fail(kErrBadRequest, "empty frame (no type byte)");
   PayloadReader reader(payload);
@@ -245,6 +322,13 @@ Request decode_request_payload(std::string_view payload) {
       return decode_classify_payload(reader);
     case kFrameReload:
       return decode_reload_payload(reader);
+    case kFrameStreamOpen:
+      return decode_stream_open_payload(reader);
+    case kFrameStreamPush:
+      return decode_stream_push_payload(reader);
+    case kFrameStreamClose:
+      reader.expect_exhausted("stream-close");
+      return Request{StreamCloseRequest{}};
     default:
       fail(kErrBadRequest,
            "unknown request frame type " + std::to_string(static_cast<unsigned>(type)));
@@ -255,9 +339,10 @@ Request decode_request_payload(std::string_view payload) {
 
 std::optional<Request> RequestParser::consume_line(std::string_view line) {
   line = strip_cr(line);
-  const bool was_mid_body = pending_ != nullptr;
+  const bool was_mid_body = pending_ != nullptr || pending_push_ != nullptr;
   framing_lost_ = false;
   try {
+    if (pending_push_ != nullptr) return consume_push_sample_line(line);
     if (pending_ == nullptr) return consume_header(line);
     if (remaining_samples_ == 0) {
       consume_trial_header(line);
@@ -276,6 +361,8 @@ std::optional<Request> RequestParser::consume_line(std::string_view line) {
     pending_.reset();
     remaining_trials_ = 0;
     remaining_samples_ = 0;
+    pending_push_.reset();
+    remaining_push_samples_ = 0;
     if (was_mid_body) framing_lost_ = true;
     throw;
   }
@@ -312,6 +399,50 @@ std::optional<Request> RequestParser::consume_header(std::string_view line) {
       }
     }
     return Request{std::move(request)};
+  }
+  if (command == "stream-open") {
+    StreamOpenRequest request;
+    std::string_view token = next_token(rest);
+    if (token.starts_with("model=")) {
+      request.model = std::string(expect_kv(token, "model"));
+      if (!hd::is_valid_model_name(request.model)) {
+        fail(kErrBadRequest, "invalid model name \"" + request.model + "\"");
+      }
+      token = next_token(rest);
+    }
+    request.window = parse_size(expect_kv(token, "window"), "window");
+    request.hop = parse_size(expect_kv(next_token(rest), "hop"), "hop");
+    if (!next_token(rest).empty()) {
+      fail(kErrBadRequest, "unexpected trailing fields after hop=");
+    }
+    validate_stream_shape(request.window, request.hop);
+    return Request{std::move(request)};
+  }
+  if (command == "stream-close") {
+    if (!next_token(rest).empty()) {
+      fail(kErrBadRequest, "unexpected trailing fields after \"stream-close\"");
+    }
+    return Request{StreamCloseRequest{}};
+  }
+  if (command == "stream-push") {
+    // Like classify: once the header announced body lines, any failure
+    // below loses framing — the client has already pipelined the samples.
+    framing_lost_ = true;
+    const std::size_t samples = parse_size(expect_kv(next_token(rest), "samples"), "samples");
+    if (!next_token(rest).empty()) {
+      fail(kErrBadRequest, "unexpected trailing fields after samples=");
+    }
+    if (samples == 0) fail(kErrBadRequest, "stream-push needs samples >= 1");
+    if (samples > kMaxSamplesPerTrial) {
+      fail(kErrTooLarge, "samples=" + std::to_string(samples) +
+                             " exceeds the per-trial limit of " +
+                             std::to_string(kMaxSamplesPerTrial));
+    }
+    pending_push_ = std::make_unique<StreamPushRequest>();
+    pending_push_->samples.reserve(samples);
+    remaining_push_samples_ = samples;
+    framing_lost_ = false;  // header parsed fully; body lines frame normally
+    return std::nullopt;
   }
   if (command != "classify") {
     fail(kErrBadRequest, "unknown command \"" + std::string(command) + "\"");
@@ -378,6 +509,20 @@ void RequestParser::consume_sample_line(std::string_view line) {
   if (--remaining_samples_ == 0) --remaining_trials_;
 }
 
+std::optional<Request> RequestParser::consume_push_sample_line(std::string_view line) {
+  hd::Sample sample;
+  std::string_view rest = line;
+  for (std::string_view token = next_token(rest); !token.empty(); token = next_token(rest)) {
+    sample.push_back(parse_sample_value(token));
+  }
+  if (sample.empty()) fail(kErrBadRequest, "empty sample line inside a stream-push body");
+  pending_push_->samples.push_back(std::move(sample));
+  if (--remaining_push_samples_ > 0) return std::nullopt;
+  Request done = std::move(*pending_push_);
+  pending_push_.reset();
+  return done;
+}
+
 std::string format_pong() { return "ok pong\n"; }
 
 std::string format_bye() { return "ok bye\n"; }
@@ -420,6 +565,33 @@ std::string format_reload_response(std::span<const ReloadStatus> statuses) {
     out += '\n';
   }
   return out;
+}
+
+std::string format_stream_opened_response(const std::string& model, std::size_t window,
+                                          std::size_t hop) {
+  return "ok stream-open model=" + model + " window=" + std::to_string(window) +
+         " hop=" + std::to_string(hop) + "\n";
+}
+
+std::string format_stream_windows_response(std::uint64_t first_index,
+                                           std::span<const hd::AmDecision> decisions) {
+  std::string out = "ok stream-push windows=" + std::to_string(decisions.size()) + "\n";
+  for (std::size_t w = 0; w < decisions.size(); ++w) {
+    const hd::AmDecision& d = decisions[w];
+    out += "window index=" + std::to_string(first_index + w) +
+           " label=" + std::to_string(d.label) + " distance=" + std::to_string(d.distance) +
+           " distances=";
+    for (std::size_t i = 0; i < d.distances.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(d.distances[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_stream_closed_response(std::uint64_t windows) {
+  return "ok stream-close windows=" + std::to_string(windows) + "\n";
 }
 
 std::string format_error(std::string_view code, std::string_view message) {
@@ -465,6 +637,27 @@ hd::AmDecision parse_result_line(std::string_view line) {
     fail(kErrBadRequest, "unexpected trailing fields on a result line");
   }
   return decision;
+}
+
+std::pair<std::uint64_t, hd::AmDecision> parse_window_line(std::string_view line) {
+  std::string_view rest = strip_cr(line);
+  if (next_token(rest) != "window") {
+    fail(kErrBadRequest, "expected a \"window ...\" line, got \"" + std::string(line) + "\"");
+  }
+  const std::uint64_t index = parse_size(expect_kv(next_token(rest), "index"), "index");
+  hd::AmDecision decision;
+  decision.label = parse_size(expect_kv(next_token(rest), "label"), "label");
+  decision.distance = parse_size(expect_kv(next_token(rest), "distance"), "distance");
+  std::string_view distances = expect_kv(next_token(rest), "distances");
+  while (!distances.empty()) {
+    const std::size_t comma = distances.find(',');
+    decision.distances.push_back(parse_size(distances.substr(0, comma), "distances"));
+    distances.remove_prefix(comma == std::string_view::npos ? distances.size() : comma + 1);
+  }
+  if (!next_token(rest).empty()) {
+    fail(kErrBadRequest, "unexpected trailing fields on a window line");
+  }
+  return {index, std::move(decision)};
 }
 
 // --- phd2 binary framing ---------------------------------------------------
@@ -558,6 +751,44 @@ std::string ResponseEncoder::reload(std::span<const ReloadStatus> statuses) cons
   return frame(std::move(payload));
 }
 
+std::string ResponseEncoder::stream_opened(const std::string& model, std::size_t window,
+                                           std::size_t hop) const {
+  if (wire_ == Wire::kText) return format_stream_opened_response(model, window, hop);
+  std::string payload;
+  put_u8(payload, kFrameStreamOpened);
+  put_u8(payload, static_cast<std::uint8_t>(model.size()));
+  payload += model;
+  put_u32(payload, static_cast<std::uint32_t>(window));
+  put_u32(payload, static_cast<std::uint32_t>(hop));
+  return frame(std::move(payload));
+}
+
+std::string ResponseEncoder::stream_windows(std::uint64_t first_index,
+                                            std::span<const hd::AmDecision> decisions) const {
+  if (wire_ == Wire::kText) return format_stream_windows_response(first_index, decisions);
+  std::string payload;
+  put_u8(payload, kFrameStreamWindows);
+  put_u64(payload, first_index);
+  put_u32(payload, static_cast<std::uint32_t>(decisions.size()));
+  for (const hd::AmDecision& d : decisions) {
+    put_u32(payload, static_cast<std::uint32_t>(d.label));
+    put_u32(payload, static_cast<std::uint32_t>(d.distance));
+    put_u32(payload, static_cast<std::uint32_t>(d.distances.size()));
+    for (const std::size_t distance : d.distances) {
+      put_u32(payload, static_cast<std::uint32_t>(distance));
+    }
+  }
+  return frame(std::move(payload));
+}
+
+std::string ResponseEncoder::stream_closed(std::uint64_t windows) const {
+  if (wire_ == Wire::kText) return format_stream_closed_response(windows);
+  std::string payload;
+  put_u8(payload, kFrameStreamClosed);
+  put_u64(payload, windows);
+  return frame(std::move(payload));
+}
+
 std::string ResponseEncoder::error(std::string_view code, std::string_view message,
                                    bool fatal) const {
   if (wire_ == Wire::kText) return format_error(code, message);
@@ -601,6 +832,29 @@ std::string format_binary_classify_request(const std::string& model,
     for (const hd::Sample& sample : trial) {
       for (const float value : sample) put_f32(payload, value);
     }
+  }
+  return frame(std::move(payload));
+}
+
+std::string format_binary_stream_open_request(const std::string& model, std::uint32_t window,
+                                              std::uint32_t hop) {
+  std::string payload;
+  put_u8(payload, kFrameStreamOpen);
+  put_u8(payload, static_cast<std::uint8_t>(model.size()));
+  payload += model;
+  put_u32(payload, window);
+  put_u32(payload, hop);
+  return frame(std::move(payload));
+}
+
+std::string format_binary_stream_push_request(std::span<const hd::Sample> samples) {
+  std::string payload;
+  put_u8(payload, kFrameStreamPush);
+  put_u32(payload, static_cast<std::uint32_t>(samples.size()));
+  const std::size_t channels = samples.empty() ? 0 : samples.front().size();
+  put_u16(payload, static_cast<std::uint16_t>(channels));
+  for (const hd::Sample& sample : samples) {
+    for (const float value : sample) put_f32(payload, value);
   }
   return frame(std::move(payload));
 }
@@ -667,6 +921,35 @@ std::optional<BinaryResponse> BinaryResponseParser::next() {
             std::string(reader.bytes(reader.u16("reload message length"), "reload message"));
         response.reloads.push_back(std::move(status));
       }
+      break;
+    }
+    case kFrameStreamOpened: {
+      response.model = std::string(
+          reader.bytes(reader.u8("stream-open model-name length"), "stream-open model name"));
+      response.window = reader.u32("stream-open window");
+      response.hop = reader.u32("stream-open hop");
+      break;
+    }
+    case kFrameStreamWindows: {
+      response.first_window = reader.u64("stream window index");
+      const std::uint32_t windows = reader.u32("stream window count");
+      for (std::uint32_t i = 0; i < windows; ++i) {
+        hd::AmDecision decision;
+        decision.label = reader.u32("window label");
+        decision.distance = reader.u32("window distance");
+        const std::uint32_t classes = reader.u32("window class count");
+        // Same wire-count reserve cap as kFrameResults: a corrupt count
+        // must fail in the bounds-checked read, not in a huge reserve.
+        decision.distances.reserve(std::min<std::size_t>(classes, reader.remaining() / 4));
+        for (std::uint32_t c = 0; c < classes; ++c) {
+          decision.distances.push_back(reader.u32("window distances"));
+        }
+        response.decisions.push_back(std::move(decision));
+      }
+      break;
+    }
+    case kFrameStreamClosed: {
+      response.windows_total = reader.u64("stream-close window count");
       break;
     }
     case kFrameError: {

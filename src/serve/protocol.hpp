@@ -19,7 +19,8 @@
 // Grammar (one request per line group; lines end in LF, a trailing CR is
 // tolerated):
 //
-//   request   = ping / models / quit / reload / classify
+//   request   = ping / models / quit / reload / classify /
+//               stream-open / stream-push / stream-close
 //   ping      = "phd1 ping"
 //   models    = "phd1 models"
 //   quit      = "phd1 quit"
@@ -29,6 +30,20 @@
 //   trial     = "trial samples=" S                              ; S >= 1
 //               S * sample
 //   sample    = float *(" " float)          ; one value per channel
+//   stream-open  = "phd1 stream-open" [" model=" name]
+//                  " window=" W " hop=" H       ; W >= 1, H >= 1
+//   stream-push  = "phd1 stream-push samples=" S                ; S >= 1
+//                  S * sample
+//   stream-close = "phd1 stream-close"
+//
+// A connection holds at most one streaming session. stream-open pins the
+// routed model for the session's whole life (a concurrent reload does not
+// change an open session; the next stream-open sees the new model) and
+// declares the sliding decision window: window w covers pushed samples
+// [w*hop, w*hop + window) and its label is bit-identical to a classify of
+// that buffered slice. Each stream-push answers with the windows it
+// completed — pushing hop samples at a time yields exactly one decision
+// per push once the first window has filled.
 //
 // Responses (single header line, then zero or more body lines):
 //
@@ -41,14 +56,24 @@
 //     K * "result label=" L " distance=" D " distances=" d0 "," d1 ...
 //   "ok reload count=" N
 //     N * "reload model=" name " ok=" ("0"/"1") [" msg=" text]
+//   "ok stream-open model=" name " window=" W " hop=" H
+//   "ok stream-push windows=" K
+//     K * "window index=" I " label=" L " distance=" D " distances=" ...
+//   "ok stream-close windows=" N              ; total emitted this session
 //   "err code=" code " msg=" text-to-end-of-line
 //
 // Error codes are the stable machine-readable contract (messages are not):
 //   bad-request          malformed header/body line
 //   unsupported-version  first token is not "phd1"
-//   too-large            trials=/samples= exceed the kMax* limits below
+//   too-large            trials=/samples=/window= exceed the kMax* limits
+//                        below
 //   unknown-model        model= names no registered model / no default
 //   bad-trial            trial incompatible with the routed model
+//   bad-stream           stream request out of order (push/close without an
+//                        open session, open while one is already open,
+//                        window shorter than the model's N-gram), or the
+//                        session was invalidated server-side (e.g. a shed
+//                        stream-push lost samples) and must be re-opened
 //   overloaded           server at its connection cap; sent once at accept
 //                        time (always as a text line — the connection
 //                        never got to negotiate) before an immediate close
@@ -64,6 +89,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -92,6 +118,12 @@ inline constexpr std::string_view kBinaryMagic = "PHD2";
 /// requests are a handful of ~20-sample trials.
 inline constexpr std::size_t kMaxTrialsPerRequest = 4096;
 inline constexpr std::size_t kMaxSamplesPerTrial = 65536;
+/// Streaming sessions bundle every window that is currently open, so the
+/// per-sample cost and the counter memory scale with the window overlap
+/// floor((window-1)/hop) + 1. This cap keeps a hostile window/hop shape
+/// (e.g. window=65536, hop=1) from provisioning tens of thousands of
+/// counter bundles; real hops are a meaningful fraction of the window.
+inline constexpr std::size_t kMaxStreamActiveWindows = 256;
 /// Framing bound: a single line longer than this is a protocol violation
 /// (the server replies `too-large` and closes, since framing is lost).
 inline constexpr std::size_t kMaxLineBytes = 1 << 20;
@@ -108,11 +140,17 @@ inline constexpr std::uint8_t kFrameModels = 0x02;
 inline constexpr std::uint8_t kFrameQuit = 0x03;
 inline constexpr std::uint8_t kFrameClassify = 0x04;
 inline constexpr std::uint8_t kFrameReload = 0x05;
+inline constexpr std::uint8_t kFrameStreamOpen = 0x06;
+inline constexpr std::uint8_t kFrameStreamPush = 0x07;
+inline constexpr std::uint8_t kFrameStreamClose = 0x08;
 inline constexpr std::uint8_t kFramePong = 0x81;
 inline constexpr std::uint8_t kFrameBye = 0x82;
 inline constexpr std::uint8_t kFrameModelList = 0x83;
 inline constexpr std::uint8_t kFrameResults = 0x84;
 inline constexpr std::uint8_t kFrameReloadResult = 0x85;
+inline constexpr std::uint8_t kFrameStreamOpened = 0x86;
+inline constexpr std::uint8_t kFrameStreamWindows = 0x87;
+inline constexpr std::uint8_t kFrameStreamClosed = 0x88;
 inline constexpr std::uint8_t kFrameError = 0xEE;
 
 /// Stable error-code tokens (see the header comment and docs/protocol.md).
@@ -121,6 +159,7 @@ inline constexpr std::string_view kErrUnsupportedVersion = "unsupported-version"
 inline constexpr std::string_view kErrTooLarge = "too-large";
 inline constexpr std::string_view kErrUnknownModel = "unknown-model";
 inline constexpr std::string_view kErrBadTrial = "bad-trial";
+inline constexpr std::string_view kErrBadStream = "bad-stream";
 inline constexpr std::string_view kErrOverloaded = "overloaded";
 inline constexpr std::string_view kErrTimeout = "timeout";
 inline constexpr std::string_view kErrInternal = "internal";
@@ -138,9 +177,26 @@ struct ClassifyRequest {
 struct ReloadRequest {
   std::string model;  ///< empty = reload every registered model
 };
+/// Opens the connection's streaming session: pins the routed model and
+/// declares the window/hop shape. The parser guarantees window >= 1,
+/// hop >= 1, window <= kMaxSamplesPerTrial and the active-window cap;
+/// window >= the model's N-gram is checked at execution (model-dependent).
+struct StreamOpenRequest {
+  std::string model;  ///< empty = route to the registry default
+  std::size_t window = 0;
+  std::size_t hop = 0;
+};
+/// Feeds samples to the open session; answered with every window these
+/// samples completed. >= 1 samples, each one value per channel.
+struct StreamPushRequest {
+  hd::Trial samples;
+};
+/// Ends the session (the connection survives and may open a new one).
+struct StreamCloseRequest {};
 
 using Request =
-    std::variant<PingRequest, ModelsRequest, QuitRequest, ClassifyRequest, ReloadRequest>;
+    std::variant<PingRequest, ModelsRequest, QuitRequest, ClassifyRequest, ReloadRequest,
+                 StreamOpenRequest, StreamPushRequest, StreamCloseRequest>;
 
 /// Incremental (push) request parser: feed protocol lines one at a time;
 /// a completed request pops out once its last line is consumed. Decoupled
@@ -149,30 +205,35 @@ class RequestParser {
  public:
   /// Consumes one line (terminator already stripped; a trailing '\r' is
   /// removed here). Returns the completed request, or std::nullopt while a
-  /// multi-line classify body still needs lines. Throws pulphd::CodedError
-  /// (code = one of the kErr* tokens) on malformed input; the parser resets
-  /// to the idle state before throwing.
+  /// multi-line classify/stream-push body still needs lines. Throws
+  /// pulphd::CodedError (code = one of the kErr* tokens) on malformed
+  /// input; the parser resets to the idle state before throwing.
   std::optional<Request> consume_line(std::string_view line);
 
-  /// True when the parser is between requests (not inside a classify body).
-  bool idle() const noexcept { return pending_ == nullptr; }
+  /// True when the parser is between requests (not inside a classify or
+  /// stream-push body).
+  bool idle() const noexcept { return pending_ == nullptr && pending_push_ == nullptr; }
 
   /// True when the last consume_line error made the remaining connection
   /// input un-frameable, so the caller must drop the connection: any
-  /// failed `classify` parse (header *or* body), because the client has
-  /// typically already pipelined trial lines that would otherwise be
-  /// misread as fresh requests. Failed single-line requests (ping/models/
-  /// quit/unknown/version) leave framing intact and reset this to false.
+  /// failed `classify`/`stream-push` parse (header *or* body), because the
+  /// client has typically already pipelined body lines that would otherwise
+  /// be misread as fresh requests. Failed single-line requests (ping/
+  /// models/quit/unknown/version) leave framing intact and reset this to
+  /// false.
   bool framing_lost() const noexcept { return framing_lost_; }
 
  private:
   std::optional<Request> consume_header(std::string_view line);
   void consume_trial_header(std::string_view line);
   void consume_sample_line(std::string_view line);
+  std::optional<Request> consume_push_sample_line(std::string_view line);
 
   std::unique_ptr<ClassifyRequest> pending_;
   std::size_t remaining_trials_ = 0;
   std::size_t remaining_samples_ = 0;  ///< 0 = expecting a "trial" header line
+  std::unique_ptr<StreamPushRequest> pending_push_;
+  std::size_t remaining_push_samples_ = 0;
   bool framing_lost_ = false;
 };
 
@@ -248,6 +309,14 @@ class ResponseEncoder {
   std::string models(std::span<const ModelInfo> models) const;
   std::string classify(const std::string& model, std::span<const hd::AmDecision> decisions) const;
   std::string reload(std::span<const ReloadStatus> statuses) const;
+  /// `model` is the resolved name the session pinned (never empty).
+  std::string stream_opened(const std::string& model, std::size_t window, std::size_t hop) const;
+  /// The decisions of the windows one stream-push completed (possibly
+  /// none); `first_index` is the stream-wide index of the first one —
+  /// indices are consecutive within one push.
+  std::string stream_windows(std::uint64_t first_index,
+                             std::span<const hd::AmDecision> decisions) const;
+  std::string stream_closed(std::uint64_t windows) const;
   /// `fatal` marks errors after which the server closes the connection;
   /// phd2 carries it as an explicit flag byte, phd1 implies it from the
   /// error class (see docs/protocol.md).
@@ -325,6 +394,11 @@ std::string format_models_response(std::span<const ModelInfo> models);
 std::string format_classify_response(const std::string& model,
                                      std::span<const hd::AmDecision> decisions);
 std::string format_reload_response(std::span<const ReloadStatus> statuses);
+std::string format_stream_opened_response(const std::string& model, std::size_t window,
+                                          std::size_t hop);
+std::string format_stream_windows_response(std::uint64_t first_index,
+                                           std::span<const hd::AmDecision> decisions);
+std::string format_stream_closed_response(std::uint64_t windows);
 /// Newlines in `message` are flattened to spaces so the response stays one
 /// frame; `code` must be a single token.
 std::string format_error(std::string_view code, std::string_view message);
@@ -342,6 +416,12 @@ std::string format_classify_request(const std::string& model, std::span<const hd
 /// (bad-request) on malformed lines. Round-trips format_classify_response.
 hd::AmDecision parse_result_line(std::string_view line);
 
+/// Parses one "window ..." body line of a stream-push response into its
+/// stream-wide window index and decision. Throws pulphd::CodedError
+/// (bad-request) on malformed lines. Round-trips
+/// format_stream_windows_response.
+std::pair<std::uint64_t, hd::AmDecision> parse_window_line(std::string_view line);
+
 // --- Binary (phd2) client-side helpers ------------------------------------
 
 /// A body-less binary request frame (`type` is kFramePing/kFrameModels/
@@ -357,14 +437,27 @@ std::string format_binary_reload_request(const std::string& model);
 std::string format_binary_classify_request(const std::string& model,
                                            std::span<const hd::Trial> trials);
 
+/// A binary stream-open request frame ("" = route to the default model).
+std::string format_binary_stream_open_request(const std::string& model, std::uint32_t window,
+                                              std::uint32_t hop);
+
+/// A binary stream-push request frame: raw float32 little-endian samples,
+/// like classify.
+std::string format_binary_stream_push_request(std::span<const hd::Sample> samples);
+// stream-close is body-less: format_binary_command(kFrameStreamClose).
+
 /// One decoded binary response frame (client side). `type` tells which of
 /// the remaining fields are meaningful.
 struct BinaryResponse {
   std::uint8_t type = 0;
-  std::string model;                      ///< kFrameResults
-  std::vector<hd::AmDecision> decisions;  ///< kFrameResults
+  std::string model;                      ///< kFrameResults, kFrameStreamOpened
+  std::vector<hd::AmDecision> decisions;  ///< kFrameResults, kFrameStreamWindows
   std::vector<ModelInfo> models;          ///< kFrameModelList
   std::vector<ReloadStatus> reloads;      ///< kFrameReloadResult
+  std::uint32_t window = 0;               ///< kFrameStreamOpened
+  std::uint32_t hop = 0;                  ///< kFrameStreamOpened
+  std::uint64_t first_window = 0;         ///< kFrameStreamWindows: index of decisions[0]
+  std::uint64_t windows_total = 0;        ///< kFrameStreamClosed
   std::string error_code;                 ///< kFrameError
   std::string error_message;              ///< kFrameError
   bool fatal = false;                     ///< kFrameError: connection drops after it

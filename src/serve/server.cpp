@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -77,6 +78,28 @@ bool send_all(int fd, std::string_view data) {
 
 }  // namespace
 
+/// The streaming-session state of one connection. Created empty at accept;
+/// stream-open pins the model snapshot and configures the encoder,
+/// stream-close clears both. Ownership is shared between the Connection and
+/// whichever worker lambda is executing a stream request, so a connection
+/// that dies mid-request keeps the worker's state alive until it finishes —
+/// like the orphaned-completion pattern, but for state the worker mutates.
+/// Mutual exclusion comes from per-connection single-flight dispatch (at
+/// most one worker per connection at a time) and ordering from the
+/// completions_mutex_ handoff; no lock of its own is needed.
+struct ClassifyServer::StreamSession {
+  ModelSnapshot model;  ///< pinned at open; nullptr = no open session
+  std::optional<hd::StreamingEncoder> encoder;
+  std::uint64_t windows = 0;  ///< emitted since open (survives encoder resets)
+
+  bool open() const noexcept { return model != nullptr; }
+  void close() noexcept {
+    model.reset();
+    encoder.reset();
+    windows = 0;
+  }
+};
+
 /// Per-connection event-loop state. Owned and touched exclusively by the
 /// loop thread; workers refer to a connection only by its id, so a
 /// connection that dies mid-request simply orphans its completion.
@@ -91,6 +114,10 @@ struct ClassifyServer::Connection {
   std::uint64_t id = 0;
   int fd = -1;
   ConnectionSession session;
+  /// The connection's streaming session. The loop thread only ever swaps
+  /// the *pointer* (to invalidate after a shed stream request); the
+  /// pointee is mutated exclusively by the single in-flight worker.
+  std::shared_ptr<StreamSession> stream = std::make_shared<StreamSession>();
   std::string outbuf;       ///< encoded responses; [0, outoff) is already sent
   std::size_t outoff = 0;   ///< sent prefix of outbuf (reclaimed lazily)
   std::deque<PendingEvent> pending;  ///< parsed requests / errors awaiting their turn
@@ -469,7 +496,10 @@ void ClassifyServer::dispatch_next(Connection& conn) {
       conn.pending.clear();
       return;
     }
-    const bool computes = std::holds_alternative<ClassifyRequest>(*item.request) ||
+    const bool streams = std::holds_alternative<StreamOpenRequest>(*item.request) ||
+                         std::holds_alternative<StreamPushRequest>(*item.request) ||
+                         std::holds_alternative<StreamCloseRequest>(*item.request);
+    const bool computes = streams || std::holds_alternative<ClassifyRequest>(*item.request) ||
                           std::holds_alternative<ReloadRequest>(*item.request);
     if (computes && config_.request_timeout.count() > 0) {
       // Shed work that sat queued behind earlier pipelined requests past
@@ -485,13 +515,23 @@ void ClassifyServer::dispatch_next(Connection& conn) {
                                       " ms, past the " +
                                       std::to_string(config_.request_timeout.count()) +
                                       " ms deadline; shed unrun");
+        if (streams) {
+          // A shed stream request breaks the sample stream (a dropped push
+          // would silently skew every later window), so invalidate the
+          // whole session: swap in a fresh one — never mutate the old
+          // pointee, which a finished worker may still hold — and let the
+          // client's next push answer `bad-stream` until it re-opens.
+          conn.stream = std::make_shared<StreamSession>();
+        }
         continue;
       }
     }
     if (computes) {
-      // Classify and reload both compute/do I/O: hand them to the pool
-      // and wait for the completion before touching the next pipelined
-      // item, so responses keep request order.
+      // Classify, reload and the stream family all compute/do I/O: hand
+      // them to the pool and wait for the completion before touching the
+      // next pipelined item, so responses keep request order — which also
+      // guarantees at most one worker per connection, the mutual exclusion
+      // the shared StreamSession relies on.
       conn.busy = true;
       const std::uint64_t id = conn.id;
       const Wire wire = conn.session.wire();
@@ -500,10 +540,11 @@ void ClassifyServer::dispatch_next(Connection& conn) {
         ++in_flight_;
       }
       workers_->submit(
-          [this, id, wire, request = std::make_shared<Request>(std::move(*item.request))] {
+          [this, id, wire, stream = conn.stream,
+           request = std::make_shared<Request>(std::move(*item.request))] {
             std::string output;
             try {
-              output = handle_request(*request, wire);
+              output = handle_request(*request, wire, *stream);
             } catch (...) {
               // handle_request already maps failures; this is a backstop so
               // a worker thread can never die with an exception in flight.
@@ -521,7 +562,7 @@ void ClassifyServer::dispatch_next(Connection& conn) {
       return;
     }
     // ping / models: trivial lookups, answered on the loop thread itself.
-    conn.outbuf += handle_request(*item.request, conn.session.wire());
+    conn.outbuf += handle_request(*item.request, conn.session.wire(), *conn.stream);
   }
 }
 
@@ -647,6 +688,7 @@ void ClassifyServer::shutdown_loop() {
 
 void ClassifyServer::serve_connection(int fd) const {
   ConnectionSession session(session_limits());
+  StreamSession stream;  // blocking path: one connection, one local session
   char chunk[4096];
   bool open = true;
   while (open) {
@@ -667,7 +709,7 @@ void ClassifyServer::serve_connection(int fd) const {
           open = false;
           break;
         }
-        if (!send_all(fd, handle_request(*event.request, session.wire()))) {
+        if (!send_all(fd, handle_request(*event.request, session.wire(), stream))) {
           open = false;
           break;
         }
@@ -681,7 +723,8 @@ void ClassifyServer::serve_connection(int fd) const {
   ::close(fd);
 }
 
-std::string ClassifyServer::handle_request(const Request& request, Wire wire) const {
+std::string ClassifyServer::handle_request(const Request& request, Wire wire,
+                                           StreamSession& stream) const {
   const ResponseEncoder encoder(wire);
   try {
     if (std::holds_alternative<PingRequest>(request)) return encoder.pong();
@@ -697,12 +740,72 @@ std::string ClassifyServer::handle_request(const Request& request, Wire wire) co
                                : std::vector<ReloadStatus>{registry_.reload(reload.model)};
       return encoder.reload(statuses);
     }
-    // Chaos hook for the worker-side execute path: stall(MS) makes
-    // classifies slow (driving --request-timeout shedding), err(E)
-    // simulates an unexpected execution failure.
+    // Chaos hook for the worker-side execute path (classify and the stream
+    // family alike): stall(MS) makes them slow (driving --request-timeout
+    // shedding), err(E) simulates an unexpected execution failure.
     const failpoint::Injection inj = failpoint::evaluate("serve.classify");
     if (inj.kind == failpoint::Injection::Kind::kError) {
       throw std::runtime_error("injected classify failure: " + io::errno_text(inj.error));
+    }
+    if (std::holds_alternative<StreamOpenRequest>(request)) {
+      const auto& open = std::get<StreamOpenRequest>(request);
+      if (stream.open()) {
+        throw CodedError(std::string(kErrBadStream),
+                         "a streaming session is already open on this connection (model \"" +
+                             stream.model->name + "\"); stream-close it first");
+      }
+      // The snapshot pins this model version for the session's whole life:
+      // reloads concurrent with the session swap the registry slot without
+      // ever touching it, and the next stream-open resolves fresh.
+      const ModelSnapshot entry = registry_.resolve(open.model);
+      const hd::ClassifierConfig& cfg = entry->classifier.config();
+      if (open.window < cfg.ngram) {
+        throw CodedError(std::string(kErrBadStream),
+                         "window=" + std::to_string(open.window) + " is shorter than model \"" +
+                             entry->name + "\"'s N-gram size " + std::to_string(cfg.ngram));
+      }
+      stream.encoder.emplace(entry->classifier.make_streaming_encoder());
+      stream.encoder->configure(open.window, open.hop);
+      stream.windows = 0;
+      stream.model = entry;  // last: open() now implies a configured encoder
+      return encoder.stream_opened(entry->name, open.window, open.hop);
+    }
+    if (std::holds_alternative<StreamPushRequest>(request)) {
+      const auto& push = std::get<StreamPushRequest>(request);
+      if (!stream.open()) {
+        throw CodedError(std::string(kErrBadStream),
+                         "stream-push without an open session (stream-open first; a shed "
+                         "stream request also invalidates the session)");
+      }
+      const hd::ClassifierConfig& cfg = stream.model->classifier.config();
+      // Validate every sample before consuming any, so a bad-trial answer
+      // leaves the stream position untouched and the client may re-push.
+      for (const hd::Sample& sample : push.samples) {
+        if (sample.size() != cfg.channels) {
+          throw CodedError(std::string(kErrBadTrial),
+                           "stream sample has " + std::to_string(sample.size()) +
+                               " channels but model \"" + stream.model->name + "\" expects " +
+                               std::to_string(cfg.channels));
+        }
+      }
+      const std::uint64_t first_index = stream.windows;
+      std::vector<hd::Hypervector> queries;
+      stream.encoder->push(push.samples, queries);
+      stream.windows += queries.size();
+      // The windows' queries came out of the streaming recurrence
+      // bit-identical to the buffered encode, so classifying them against
+      // the pinned AM matches the offline batch path exactly.
+      const std::vector<hd::AmDecision> decisions =
+          stream.model->classifier.predict_encoded_batch(queries);
+      return encoder.stream_windows(first_index, decisions);
+    }
+    if (std::holds_alternative<StreamCloseRequest>(request)) {
+      if (!stream.open()) {
+        throw CodedError(std::string(kErrBadStream), "stream-close without an open session");
+      }
+      const std::uint64_t windows = stream.windows;
+      stream.close();
+      return encoder.stream_closed(windows);
     }
     const auto& classify = std::get<ClassifyRequest>(request);
     // The snapshot pins this model version for the whole computation: a

@@ -23,6 +23,18 @@
 // including while a `reload` request or SIGHUP (request_reload()) swaps
 // fresh models in underneath them.
 //
+// Streaming: a connection may hold one streaming session (`stream-open` /
+// `stream-push` / `stream-close`; serve/protocol.hpp). The session pins its
+// model snapshot at open (a concurrent reload never changes an open
+// session), and its encoder state rides with the connection: the same
+// single-flight pipelining that keeps classifies in order makes the worker
+// executing a stream request the only thread touching the session, with the
+// completion handoff ordering successive touches. Disconnect and the idle
+// timeout tear the session down with its connection; shedding a queued
+// stream request past the request deadline invalidates the whole session
+// (the dropped samples would silently skew every later window), so the
+// client must re-open.
+//
 // Degradation: transient accept(2) failures (EMFILE/ENFILE/ENOBUFS/ENOMEM)
 // pause the listeners briefly instead of killing the loop; requests queued
 // past ServeConfig::request_timeout are shed with a `timeout` error; and
@@ -128,6 +140,12 @@ class ClassifyServer {
 
  private:
   struct Connection;
+  /// Per-connection streaming-session state (one at most per connection,
+  /// created at accept; defined in server.cpp). The loop thread hands the
+  /// same StreamSession to every stream request of a connection — the
+  /// single-flight pipeline guarantees only one worker touches it at a
+  /// time, and the completion handoff orders those touches.
+  struct StreamSession;
   struct Completion {
     std::uint64_t conn_id = 0;
     std::string output;
@@ -136,7 +154,7 @@ class ClassifyServer {
   ConnectionSession::Limits session_limits() const noexcept {
     return {config_.max_line_bytes, config_.max_frame_bytes};
   }
-  std::string handle_request(const Request& request, Wire wire) const;
+  std::string handle_request(const Request& request, Wire wire, StreamSession& stream) const;
 
   // Event-loop internals (all run on the loop thread only).
   void accept_ready(int listen_fd);

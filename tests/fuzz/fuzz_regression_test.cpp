@@ -47,6 +47,7 @@ void replay_corpus(const std::string& name, OneInput entry) {
 TEST(FuzzRegression, Phd1Corpus) { replay_corpus("phd1", phd1_one_input); }
 TEST(FuzzRegression, Phd2Corpus) { replay_corpus("phd2", phd2_one_input); }
 TEST(FuzzRegression, ModelCorpus) { replay_corpus("model", model_load_one_input); }
+TEST(FuzzRegression, StreamCorpus) { replay_corpus("stream", stream_one_input); }
 
 // Regression for a defect the phd2 harness design shook out: the client-side
 // results decoder reserved `classes` distance slots straight from a wire

@@ -59,6 +59,33 @@ std::vector<hd::Trial> query_trials() {
   return trials;
 }
 
+/// Deterministic 4-channel sample stream with integer-valued floats, so the
+/// text wire's decimal round trip is exact.
+std::vector<hd::Sample> chaos_stream(std::size_t samples) {
+  std::vector<hd::Sample> stream;
+  stream.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    stream.push_back({static_cast<float>(i % 8), static_cast<float>((3 * i + 1) % 8),
+                      static_cast<float>((5 * i + 2) % 8),
+                      static_cast<float>((7 * i + 3) % 8)});
+  }
+  return stream;
+}
+
+/// One text stream-push request carrying stream[start, start + count).
+std::string push_request(const std::vector<hd::Sample>& stream, std::size_t start,
+                         std::size_t count) {
+  std::string out = "phd1 stream-push samples=" + std::to_string(count) + "\n";
+  for (std::size_t i = start; i < start + count; ++i) {
+    for (std::size_t c = 0; c < stream[i].size(); ++c) {
+      if (c != 0) out += ' ';
+      out += std::to_string(static_cast<int>(stream[i][c]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 bool exists(const std::string& path) { return ::access(path.c_str(), F_OK) == 0; }
 
 /// Minimal blocking client (same shape as server_test's).
@@ -88,6 +115,12 @@ class Client {
       if (c == '\n') return line;
       line += c;
     }
+  }
+
+  /// True when the peer has closed (blocks until EOF or data).
+  bool at_eof() {
+    char c = 0;
+    return ::read(fd_, &c, 1) == 0;
   }
 
  private:
@@ -373,6 +406,115 @@ TEST_F(ChaosServer, SighupStyleReloadRunsConcurrentlyWithClassifies) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_FALSE(failed.load());
+}
+
+// --- streaming sessions under chaos -----------------------------------------
+
+TEST_F(ChaosServer, ReloadMidStreamKeepsThePinnedModelUntilReopen) {
+  hd::save_model_file(trained_classifier(11), model_path_, "m");
+  registry_.load_file("", model_path_);
+  start();
+  const std::vector<hd::Sample> stream = chaos_stream(12);
+  // window == hop == 4: pushes of 4 samples emit exactly one window each.
+  std::vector<hd::Trial> slices;
+  for (std::size_t w = 0; w < 3; ++w) {
+    slices.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(4 * w),
+                        stream.begin() + static_cast<std::ptrdiff_t>(4 * w + 4));
+  }
+  const ModelSnapshot pinned = registry_.resolve("m");
+  const std::vector<hd::AmDecision> old_offline = pinned->classifier.predict_batch(slices);
+
+  Client client(connect_unix(socket_path_));
+  client.send("phd1 stream-open model=m window=4 hop=4\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=m window=4 hop=4");
+  client.send(push_request(stream, 0, 4));
+  EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+  EXPECT_EQ(parse_window_line(client.read_line()).second.distances,
+            old_offline[0].distances);
+
+  // Retrain on disk and reload over the very same connection, mid-session.
+  hd::save_model_file(trained_classifier(99), model_path_, "m");
+  client.send("phd1 reload model=m\n");
+  EXPECT_EQ(client.read_line(), "ok reload count=1");
+  EXPECT_EQ(client.read_line(), "reload model=m ok=1");
+  EXPECT_EQ(registry_.resolve("m")->classifier.config().seed, 99u);
+
+  // The open session still answers with the pinned seed-11 snapshot.
+  for (std::size_t w = 1; w < 3; ++w) {
+    client.send(push_request(stream, 4 * w, 4));
+    EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+    const auto [index, decision] = parse_window_line(client.read_line());
+    EXPECT_EQ(index, w);
+    EXPECT_EQ(decision.distances, old_offline[w].distances);
+  }
+  client.send("phd1 stream-close\n");
+  EXPECT_EQ(client.read_line(), "ok stream-close windows=3");
+
+  // The next session on the same connection sees the reloaded model.
+  const std::vector<hd::AmDecision> new_offline =
+      registry_.resolve("m")->classifier.predict_batch(slices);
+  ASSERT_NE(new_offline[0].distances, old_offline[0].distances)
+      << "retrained model must actually differ for this test to mean anything";
+  client.send("phd1 stream-open model=m window=4 hop=4\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=m window=4 hop=4");
+  client.send(push_request(stream, 0, 4));
+  EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+  EXPECT_EQ(parse_window_line(client.read_line()).second.distances,
+            new_offline[0].distances);
+}
+
+TEST_F(ChaosServer, RequestTimeoutShedsAStalledStreamAndInvalidatesTheSession) {
+  registry_.add("m", trained_classifier(11));
+  ServeConfig config;
+  config.workers = 1;
+  config.request_timeout = std::chrono::milliseconds(50);
+  start(config);
+  const std::vector<hd::Sample> stream = chaos_stream(12);
+  Client client(connect_unix(socket_path_));
+  client.send("phd1 stream-open window=4 hop=4\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=m window=4 hop=4");
+
+  // Push #1 stalls 300 ms on the worker but completes; push #2 queues behind
+  // it past the 50 ms deadline and is shed — which must invalidate the
+  // session, because its samples were dropped and the window arithmetic can
+  // no longer be trusted.
+  failpoint::configure("serve.classify=stall(300):once");
+  client.send(push_request(stream, 0, 4));
+  client.send(push_request(stream, 4, 4));
+  EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+  (void)parse_window_line(client.read_line());
+  const std::string shed = client.read_line();
+  EXPECT_EQ(shed.rfind("err code=timeout", 0), 0u) << shed;
+
+  // The dead session answers bad-stream — no half-advanced state survives.
+  client.send(push_request(stream, 8, 4));
+  const std::string stale = client.read_line();
+  EXPECT_EQ(stale.rfind("err code=bad-stream", 0), 0u) << stale;
+
+  // The connection itself is fine: a fresh session works end-to-end.
+  client.send("phd1 stream-open window=4 hop=4\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=m window=4 hop=4");
+  client.send(push_request(stream, 0, 4));
+  EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+  (void)parse_window_line(client.read_line());
+  client.send("phd1 stream-close\n");
+  EXPECT_EQ(client.read_line(), "ok stream-close windows=1");
+}
+
+TEST_F(ChaosServer, IdleTimeoutReapsAConnectionMidStreamWithoutLeaking) {
+  registry_.add("m", trained_classifier(11));
+  ServeConfig config;
+  config.idle_timeout = std::chrono::milliseconds(100);
+  start(config);
+  Client client(connect_unix(socket_path_));
+  client.send("phd1 stream-open window=4 hop=4\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=m window=4 hop=4");
+  client.send(push_request(chaos_stream(4), 0, 4));
+  EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+  (void)parse_window_line(client.read_line());
+  // Go silent mid-session: the idle sweep must reap the connection and free
+  // the session with it — the ASan/TSan CI jobs watch this teardown.
+  EXPECT_TRUE(client.at_eof());
 }
 
 }  // namespace

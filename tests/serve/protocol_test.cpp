@@ -530,6 +530,213 @@ TEST(ServeSession, OverlongUnterminatedTextLineDrops) {
   EXPECT_TRUE(session.dead());
 }
 
+// --- streaming request family ----------------------------------------------
+
+TEST(ServeProtocolParse, StreamLifecycleParses) {
+  RequestParser parser;
+  const auto requests = parse_all(parser,
+                                  "phd1 stream-open model=subj1 window=8 hop=2\n"
+                                  "phd1 stream-push samples=2\n"
+                                  "1 2.5 3\n"
+                                  "4 5 6\n"
+                                  "phd1 stream-close\n");
+  ASSERT_EQ(requests.size(), 3u);
+  const auto& open = std::get<StreamOpenRequest>(requests[0]);
+  EXPECT_EQ(open.model, "subj1");
+  EXPECT_EQ(open.window, 8u);
+  EXPECT_EQ(open.hop, 2u);
+  const auto& push = std::get<StreamPushRequest>(requests[1]);
+  ASSERT_EQ(push.samples.size(), 2u);
+  EXPECT_EQ(push.samples[0], (hd::Sample{1.0f, 2.5f, 3.0f}));
+  EXPECT_EQ(push.samples[1], (hd::Sample{4.0f, 5.0f, 6.0f}));
+  EXPECT_TRUE(std::holds_alternative<StreamCloseRequest>(requests[2]));
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeProtocolParse, StreamOpenWithoutModelRoutesToDefault) {
+  RequestParser parser;
+  const auto requests = parse_all(parser, "phd1 stream-open window=4 hop=4\n");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(std::get<StreamOpenRequest>(requests[0]).model, "");
+}
+
+TEST(ServeProtocolParse, StreamMalformedHeadersReportStableCodes) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"phd1 stream-open\n", "bad-request"},
+      {"phd1 stream-open window=8\n", "bad-request"},
+      {"phd1 stream-open hop=2\n", "bad-request"},
+      {"phd1 stream-open window=0 hop=1\n", "bad-request"},
+      {"phd1 stream-open window=8 hop=0\n", "bad-request"},
+      {"phd1 stream-open window=8 hop=2 extra=1\n", "bad-request"},
+      {"phd1 stream-open window=999999 hop=1\n", "too-large"},
+      // Overlap cap: (window-1)/hop + 1 concurrently open windows.
+      {"phd1 stream-open window=65536 hop=1\n", "too-large"},
+      {"phd1 stream-push samples=0\n", "bad-request"},
+      {"phd1 stream-push samples=fish\n", "bad-request"},
+      {"phd1 stream-push\n", "bad-request"},
+      {"phd1 stream-push samples=999999\n", "too-large"},
+      {"phd1 stream-close extra\n", "bad-request"},
+      {"phd1 stream-push samples=1\nnot floats\n", "bad-request"},
+  };
+  for (const auto& [text, code] : cases) {
+    RequestParser parser;
+    EXPECT_EQ(code_of(parser, text), code) << text;
+  }
+}
+
+TEST(ServeProtocolParse, StreamPushBodyFailureLosesFraming) {
+  // Like classify: a failed stream-push (header or body) may leave already
+  // pipelined sample lines in the stream, so framing is lost...
+  RequestParser parser;
+  EXPECT_EQ(code_of(parser, "phd1 stream-push samples=2\n1 2\nbogus line\n"), "bad-request");
+  EXPECT_TRUE(parser.framing_lost());
+  // ...while a failed single-line stream-open/close keeps the connection.
+  RequestParser parser2;
+  EXPECT_EQ(code_of(parser2, "phd1 stream-open window=0 hop=1\n"), "bad-request");
+  EXPECT_FALSE(parser2.framing_lost());
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(*parser2.consume_line("phd1 ping")));
+}
+
+TEST(ServeProtocolRoundTrip, StreamWindowLinesSurviveFormatting) {
+  std::vector<hd::AmDecision> decisions(2);
+  decisions[0].label = 3;
+  decisions[0].distance = 120;
+  decisions[0].distances = {300, 250, 199, 120, 500};
+  decisions[1].label = 1;
+  decisions[1].distance = 42;
+  decisions[1].distances = {77, 42};
+  const std::string wire = format_stream_windows_response(/*first_index=*/7, decisions);
+  std::istringstream lines(wire);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header, "ok stream-push windows=2");
+  for (std::size_t w = 0; w < decisions.size(); ++w) {
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    const auto [index, parsed] = parse_window_line(line);
+    EXPECT_EQ(index, 7u + w);
+    EXPECT_EQ(parsed.label, decisions[w].label);
+    EXPECT_EQ(parsed.distance, decisions[w].distance);
+    EXPECT_EQ(parsed.distances, decisions[w].distances);
+  }
+  EXPECT_EQ(format_stream_opened_response("m", 8, 2), "ok stream-open model=m window=8 hop=2\n");
+  EXPECT_EQ(format_stream_closed_response(11), "ok stream-close windows=11\n");
+  EXPECT_THROW((void)parse_window_line("window index=x label=1 distance=1 distances=1"),
+               CodedError);
+  EXPECT_THROW((void)parse_window_line("result label=1 distance=1 distances=1"), CodedError);
+}
+
+TEST(ServeBinaryParse, StreamFramesRoundTripBitExactly) {
+  BinaryRequestParser parser;
+  parser.feed(format_binary_stream_open_request("subj1", /*window=*/256, /*hop=*/65));
+  const auto open_request = parser.next();
+  ASSERT_TRUE(open_request.has_value());
+  const auto& open = std::get<StreamOpenRequest>(*open_request);
+  EXPECT_EQ(open.model, "subj1");
+  EXPECT_EQ(open.window, 256u);
+  EXPECT_EQ(open.hop, 65u);
+
+  // Awkward float values on purpose: raw float32 bits, no text round-trip.
+  const std::vector<hd::Sample> samples = {{0.1f, 6.9f, 3.3333333f}, {1e-38f, -0.0f, 7.0f}};
+  parser.feed(format_binary_stream_push_request(samples));
+  const auto push_request = parser.next();
+  ASSERT_TRUE(push_request.has_value());
+  EXPECT_EQ(std::get<StreamPushRequest>(*push_request).samples, samples);
+
+  parser.feed(format_binary_command(kFrameStreamClose));
+  EXPECT_TRUE(std::holds_alternative<StreamCloseRequest>(*parser.next()));
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryParse, StreamMalformedPayloadsKeepFramingAndReportStableCodes) {
+  const struct {
+    std::string payload;
+    std::string_view code;
+  } kCases[] = {
+      // stream-open truncated before the hop field.
+      {std::string(1, static_cast<char>(kFrameStreamOpen)) + std::string(1, '\0') + le32(8),
+       kErrBadRequest},
+      // stream-open with window=0 / hop=0.
+      {std::string(1, static_cast<char>(kFrameStreamOpen)) + std::string(1, '\0') + le32(0) +
+           le32(1),
+       kErrBadRequest},
+      {std::string(1, static_cast<char>(kFrameStreamOpen)) + std::string(1, '\0') + le32(8) +
+           le32(0),
+       kErrBadRequest},
+      // stream-open over the per-trial sample limit / the overlap cap.
+      {std::string(1, static_cast<char>(kFrameStreamOpen)) + std::string(1, '\0') +
+           le32(static_cast<std::uint32_t>(kMaxSamplesPerTrial + 1)) + le32(1024),
+       kErrTooLarge},
+      {std::string(1, static_cast<char>(kFrameStreamOpen)) + std::string(1, '\0') +
+           le32(static_cast<std::uint32_t>(kMaxSamplesPerTrial)) + le32(1),
+       kErrTooLarge},
+      // stream-push with zero samples / zero channels / truncated data.
+      {std::string(1, static_cast<char>(kFrameStreamPush)) + le32(0) + std::string("\x02\x00", 2),
+       kErrBadRequest},
+      {std::string(1, static_cast<char>(kFrameStreamPush)) + le32(1) + std::string("\x00\x00", 2),
+       kErrBadRequest},
+      {std::string(1, static_cast<char>(kFrameStreamPush)) + le32(1) + std::string("\x02\x00", 2) +
+           le32(0x3f800000),
+       kErrBadRequest},
+      // stream-close with trailing bytes.
+      {std::string(1, static_cast<char>(kFrameStreamClose)) + "x", kErrBadRequest},
+  };
+  for (const auto& c : kCases) {
+    BinaryRequestParser parser;
+    EXPECT_EQ(binary_code_of(parser, make_frame(c.payload)), c.code);
+    EXPECT_FALSE(parser.framing_lost());
+    parser.feed(format_binary_command(kFramePing));
+    EXPECT_TRUE(std::holds_alternative<PingRequest>(*parser.next()));
+  }
+}
+
+TEST(ServeBinaryResponses, StreamResponsesRoundTripThroughResponseParser) {
+  const ResponseEncoder encoder(Wire::kBinary);
+  BinaryResponseParser parser;
+
+  parser.feed(encoder.stream_opened("subj0", /*window=*/128, /*hop=*/32));
+  const auto opened = parser.next();
+  ASSERT_EQ(opened->type, kFrameStreamOpened);
+  EXPECT_EQ(opened->model, "subj0");
+  EXPECT_EQ(opened->window, 128u);
+  EXPECT_EQ(opened->hop, 32u);
+
+  std::vector<hd::AmDecision> decisions(2);
+  decisions[0].label = 2;
+  decisions[0].distance = 1234;
+  decisions[0].distances = {4000, 2222, 1234};
+  decisions[1].label = 0;
+  decisions[1].distance = 7;
+  decisions[1].distances = {7, 5011, 4999};
+  parser.feed(encoder.stream_windows(/*first_index=*/41, decisions));
+  const auto windows = parser.next();
+  ASSERT_EQ(windows->type, kFrameStreamWindows);
+  EXPECT_EQ(windows->first_window, 41u);
+  ASSERT_EQ(windows->decisions.size(), 2u);
+  EXPECT_EQ(windows->decisions[0].label, 2u);
+  EXPECT_EQ(windows->decisions[0].distances, decisions[0].distances);
+  EXPECT_EQ(windows->decisions[1].distance, 7u);
+
+  // An empty push answer (no window completed) still frames cleanly.
+  parser.feed(encoder.stream_windows(/*first_index=*/0, {}));
+  EXPECT_EQ(parser.next()->decisions.size(), 0u);
+
+  parser.feed(encoder.stream_closed(/*windows=*/43));
+  const auto closed = parser.next();
+  ASSERT_EQ(closed->type, kFrameStreamClosed);
+  EXPECT_EQ(closed->windows_total, 43u);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(ServeBinaryResponses, StreamTextEncoderMatchesLegacyFormatters) {
+  const ResponseEncoder encoder(Wire::kText);
+  std::vector<hd::AmDecision> decisions(1);
+  decisions[0].distances = {1, 2, 3};
+  EXPECT_EQ(encoder.stream_opened("m", 8, 2), format_stream_opened_response("m", 8, 2));
+  EXPECT_EQ(encoder.stream_windows(5, decisions), format_stream_windows_response(5, decisions));
+  EXPECT_EQ(encoder.stream_closed(9), format_stream_closed_response(9));
+}
+
 TEST(ServeSession, MidRequestTracksPartialFramesAndLines) {
   ConnectionSession text;
   EXPECT_FALSE(text.mid_request());

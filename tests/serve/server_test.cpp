@@ -348,6 +348,152 @@ TEST_F(ServeConnectionTest, PeerVanishingMidFrameClosesWithoutAResponse) {
   // the connection (the Harness destructor would hang if it did not).
 }
 
+// --- streaming sessions over the same serve_connection loop ----------------
+
+/// A deterministic 4-channel sample stream for streaming tests.
+std::vector<hd::Sample> sample_stream(std::size_t samples) {
+  std::vector<hd::Sample> stream;
+  for (std::size_t i = 0; i < samples; ++i) {
+    stream.push_back({static_cast<float>(i % 8), static_cast<float>((3 * i + 1) % 8),
+                      static_cast<float>((5 * i + 2) % 8) * 0.875f,
+                      static_cast<float>((7 * i + 3) % 8)});
+  }
+  return stream;
+}
+
+/// The buffered reference: window w covers samples [w*hop, w*hop + window).
+std::vector<hd::Trial> stream_window_slices(const std::vector<hd::Sample>& stream,
+                                            std::size_t window, std::size_t hop) {
+  std::vector<hd::Trial> slices;
+  for (std::size_t start = 0; start + window <= stream.size(); start += hop) {
+    slices.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(start),
+                        stream.begin() + static_cast<std::ptrdiff_t>(start + window));
+  }
+  return slices;
+}
+
+TEST_F(ServeConnectionTest, StreamedWindowsAreBitIdenticalToOfflineBatch) {
+  ModelRegistry ngram_registry;
+  ngram_registry.add("ngram3", trained_classifier(33, /*ngram=*/3));
+  Harness harness(ngram_registry);
+  Client& client = harness.client();
+  const std::vector<hd::Sample> stream = sample_stream(17);
+  const std::vector<hd::Trial> slices = stream_window_slices(stream, /*window=*/6, /*hop=*/2);
+  const std::vector<hd::AmDecision> offline =
+      ngram_registry.resolve("ngram3")->classifier.predict_batch(slices);
+  client.send("phd1 stream-open model=ngram3 window=6 hop=2\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=ngram3 window=6 hop=2");
+  // Push in ragged chunks: window decisions must not depend on push
+  // boundaries.
+  std::size_t sent = 0;
+  std::uint64_t windows = 0;
+  for (const std::size_t take : {5u, 4u, 7u, 1u}) {
+    std::string push = "phd1 stream-push samples=" + std::to_string(take) + "\n";
+    for (std::size_t i = 0; i < take; ++i) {
+      const hd::Sample& s = stream[sent + i];
+      push += std::to_string(s[0]) + " " + std::to_string(s[1]) + " " + std::to_string(s[2]) +
+              " " + std::to_string(s[3]) + "\n";
+    }
+    client.send(push);
+    const std::string header = client.read_line();
+    ASSERT_TRUE(header.starts_with("ok stream-push windows=")) << header;
+    const auto count = std::stoul(header.substr(header.rfind('=') + 1));
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto [index, decision] = parse_window_line(client.read_line());
+      ASSERT_LT(index, offline.size());
+      EXPECT_EQ(index, windows + i);
+      EXPECT_EQ(decision.label, offline[index].label);
+      EXPECT_EQ(decision.distance, offline[index].distance);
+      EXPECT_EQ(decision.distances, offline[index].distances);
+    }
+    windows += count;
+    sent += take;
+  }
+  EXPECT_EQ(windows, offline.size());
+  client.send("phd1 stream-close\n");
+  EXPECT_EQ(client.read_line(), "ok stream-close windows=" + std::to_string(windows));
+  client.send("phd1 quit\n");
+  EXPECT_EQ(client.read_line(), "ok bye");
+}
+
+TEST_F(ServeConnectionTest, BinaryStreamIsBitIdenticalToOfflineBatch) {
+  // std::to_string in the text test rounds the floats; the binary wire
+  // carries raw float32 bits, so this is the strict bit-exactness check.
+  Harness harness(registry_);
+  Client& client = harness.client();
+  const std::vector<hd::Sample> stream = sample_stream(13);
+  const std::vector<hd::Trial> slices = stream_window_slices(stream, /*window=*/4, /*hop=*/3);
+  const std::vector<hd::AmDecision> offline =
+      registry_.resolve("subj1")->classifier.predict_batch(slices);
+  client.send(std::string(kBinaryMagic));
+  client.send(format_binary_stream_open_request("subj1", /*window=*/4, /*hop=*/3));
+  const BinaryResponse opened = client.read_frame();
+  ASSERT_EQ(opened.type, kFrameStreamOpened);
+  EXPECT_EQ(opened.model, "subj1");
+  EXPECT_EQ(opened.window, 4u);
+  EXPECT_EQ(opened.hop, 3u);
+  std::vector<hd::AmDecision> streamed;
+  std::size_t sent = 0;
+  for (const std::size_t take : {2u, 6u, 5u}) {
+    client.send(format_binary_stream_push_request(
+        std::span<const hd::Sample>(stream).subspan(sent, take)));
+    const BinaryResponse response = client.read_frame();
+    ASSERT_EQ(response.type, kFrameStreamWindows);
+    EXPECT_EQ(response.first_window, streamed.size());
+    streamed.insert(streamed.end(), response.decisions.begin(), response.decisions.end());
+    sent += take;
+  }
+  ASSERT_EQ(streamed.size(), offline.size());
+  for (std::size_t w = 0; w < offline.size(); ++w) {
+    EXPECT_EQ(streamed[w].label, offline[w].label) << "window " << w;
+    EXPECT_EQ(streamed[w].distance, offline[w].distance) << "window " << w;
+    EXPECT_EQ(streamed[w].distances, offline[w].distances) << "window " << w;
+  }
+  client.send(format_binary_command(kFrameStreamClose));
+  const BinaryResponse closed = client.read_frame();
+  ASSERT_EQ(closed.type, kFrameStreamClosed);
+  EXPECT_EQ(closed.windows_total, offline.size());
+}
+
+TEST_F(ServeConnectionTest, StreamLifecycleErrorsAnswerBadStream) {
+  ModelRegistry ngram_registry;
+  ngram_registry.add("ngram3", trained_classifier(33, /*ngram=*/3));
+  Harness harness(ngram_registry);
+  Client& client = harness.client();
+  // Push and close with no session.
+  client.send("phd1 stream-push samples=1\n1 2 3 4\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-stream"));
+  client.send("phd1 stream-close\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-stream"));
+  // Window shorter than the model's N-gram.
+  client.send("phd1 stream-open window=2 hop=1\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-stream"));
+  // Unknown model.
+  client.send("phd1 stream-open model=subj9 window=6 hop=2\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=unknown-model"));
+  // A real session; a second open on the same connection is rejected.
+  client.send("phd1 stream-open window=6 hop=2\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=ngram3 window=6 hop=2");
+  client.send("phd1 stream-open window=6 hop=2\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-stream"));
+  // Wrong channel count: bad-trial, and the stream position is untouched —
+  // the session keeps serving.
+  client.send("phd1 stream-push samples=1\n1 2\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-trial"));
+  client.send("phd1 stream-push samples=6\n1 2 3 4\n1 2 3 4\n1 2 3 4\n1 2 3 4\n1 2 3 4\n1 2 3 4\n");
+  EXPECT_EQ(client.read_line(), "ok stream-push windows=1");
+  (void)parse_window_line(client.read_line());
+  // close ends the session; the connection survives and may re-open.
+  client.send("phd1 stream-close\n");
+  EXPECT_EQ(client.read_line(), "ok stream-close windows=1");
+  client.send("phd1 stream-push samples=1\n1 2 3 4\n");
+  EXPECT_TRUE(client.read_line().starts_with("err code=bad-stream"));
+  client.send("phd1 stream-open window=3 hop=3\n");
+  EXPECT_EQ(client.read_line(), "ok stream-open model=ngram3 window=3 hop=3");
+  client.send("phd1 quit\n");
+  EXPECT_EQ(client.read_line(), "ok bye");
+}
+
 int connect_unix(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
@@ -469,6 +615,61 @@ TEST(ServeListener, MixedTextAndBinaryConnectionsShareOneListener) {
       EXPECT_EQ(parse_result_line(text.read_line()).distances, offline[i].distances);
       EXPECT_EQ(response.decisions[i].label, offline[i].label);
       EXPECT_EQ(response.decisions[i].distances, offline[i].distances);
+    }
+  }
+  server.stop();
+  accept_thread.join();
+}
+
+TEST(ServeListener, StreamingSessionSurvivesPipeliningOnTheEventLoop) {
+  // The epoll path: the whole session (open + every push + close) is sent
+  // as one pipelined burst, so the per-connection session state must
+  // survive the loop->worker->loop handoffs that execute the requests one
+  // at a time, while a second connection streams concurrently.
+  ModelRegistry registry;
+  registry.add("subj0", trained_classifier(11, /*ngram=*/3));
+  ServeConfig config;
+  config.unix_path = ::testing::TempDir() + "/pulphd_serve_stream.sock";
+  config.workers = 2;
+  ::unlink(config.unix_path.c_str());
+  ClassifyServer server(registry, config);
+  server.bind_and_listen();
+  std::thread accept_thread([&server] { server.run(); });
+  {
+    const std::vector<hd::Sample> stream = sample_stream(23);
+    const std::vector<hd::Trial> slices = stream_window_slices(stream, /*window=*/5, /*hop=*/4);
+    const std::vector<hd::AmDecision> offline =
+        registry.resolve("subj0")->classifier.predict_batch(slices);
+    Client a(connect_unix(config.unix_path));
+    Client b(connect_unix(config.unix_path));
+    for (Client* client : {&a, &b}) {
+      std::string burst(kBinaryMagic);
+      burst += format_binary_stream_open_request("subj0", /*window=*/5, /*hop=*/4);
+      for (std::size_t sent = 0; sent < stream.size(); sent += 4) {
+        burst += format_binary_stream_push_request(
+            std::span<const hd::Sample>(stream).subspan(sent, std::min<std::size_t>(
+                                                                  4, stream.size() - sent)));
+      }
+      burst += format_binary_command(kFrameStreamClose);
+      client->send(burst);
+    }
+    for (Client* client : {&a, &b}) {
+      EXPECT_EQ(client->read_frame().type, kFrameStreamOpened);
+      std::vector<hd::AmDecision> streamed;
+      for (std::size_t sent = 0; sent < stream.size(); sent += 4) {
+        const BinaryResponse response = client->read_frame();
+        ASSERT_EQ(response.type, kFrameStreamWindows);
+        EXPECT_EQ(response.first_window, streamed.size());
+        streamed.insert(streamed.end(), response.decisions.begin(), response.decisions.end());
+      }
+      ASSERT_EQ(streamed.size(), offline.size());
+      for (std::size_t w = 0; w < offline.size(); ++w) {
+        EXPECT_EQ(streamed[w].label, offline[w].label);
+        EXPECT_EQ(streamed[w].distances, offline[w].distances);
+      }
+      const BinaryResponse closed = client->read_frame();
+      ASSERT_EQ(closed.type, kFrameStreamClosed);
+      EXPECT_EQ(closed.windows_total, offline.size());
     }
   }
   server.stop();

@@ -1,0 +1,111 @@
+"""Shared phd2 binary wire constants and frame helpers for the python
+tooling (tools/serve_smoke.sh clients and any ad-hoc scripting).
+
+This is the one place the frame-type bytes live on the python side; the
+authoritative definitions are the kFrame* constants in
+src/serve/protocol.hpp, and tools/check_docs.py keeps this file in
+lockstep with them.
+
+Every frame on the wire is a u32 little-endian payload length followed by
+the payload; the first payload byte is the frame type. A binary connection
+starts with the 4-byte MAGIC before any frame.
+"""
+
+import struct
+
+MAGIC = b"PHD2"
+
+# Request frame types (client -> server).
+FRAME_PING = 0x01
+FRAME_MODELS = 0x02
+FRAME_QUIT = 0x03
+FRAME_CLASSIFY = 0x04
+FRAME_RELOAD = 0x05
+FRAME_STREAM_OPEN = 0x06
+FRAME_STREAM_PUSH = 0x07
+FRAME_STREAM_CLOSE = 0x08
+
+# Response frame types (server -> client).
+FRAME_PONG = 0x81
+FRAME_BYE = 0x82
+FRAME_MODEL_LIST = 0x83
+FRAME_RESULTS = 0x84
+FRAME_RELOAD_RESULT = 0x85
+FRAME_STREAM_OPENED = 0x86
+FRAME_STREAM_WINDOWS = 0x87
+FRAME_STREAM_CLOSED = 0x88
+FRAME_ERROR = 0xEE
+
+
+def frame(payload):
+    """Wraps a payload in the u32-LE length prefix."""
+    return struct.pack("<I", len(payload)) + payload
+
+
+def command(frame_type):
+    """A body-less request frame (ping / models / quit / stream-close)."""
+    return frame(bytes([frame_type]))
+
+
+def classify(name, trials):
+    """A classify request: model name + per-trial float32 sample blocks."""
+    payload = bytearray([FRAME_CLASSIFY, len(name)]) + name.encode()
+    payload += struct.pack("<I", len(trials))
+    for trial in trials:
+        payload += struct.pack("<IH", len(trial), len(trial[0]))
+        for sample in trial:
+            payload += struct.pack(f"<{len(sample)}f", *sample)
+    return frame(bytes(payload))
+
+
+def stream_open(name, window, hop):
+    """A stream-open request: model name + u32 window + u32 hop."""
+    payload = bytearray([FRAME_STREAM_OPEN, len(name)]) + name.encode()
+    payload += struct.pack("<II", window, hop)
+    return frame(bytes(payload))
+
+
+def stream_push(samples):
+    """A stream-push request: u32 count + u16 channels + float32 samples."""
+    payload = bytearray([FRAME_STREAM_PUSH])
+    payload += struct.pack("<IH", len(samples), len(samples[0]) if samples else 0)
+    for sample in samples:
+        payload += struct.pack(f"<{len(sample)}f", *sample)
+    return frame(bytes(payload))
+
+
+def next_frame(buf):
+    """Splits one length-prefixed frame off buf; returns (payload, rest)."""
+    assert len(buf) >= 4, "truncated length prefix"
+    (length,) = struct.unpack_from("<I", buf)
+    assert len(buf) >= 4 + length, "truncated frame payload"
+    return buf[4:4 + length], buf[4 + length:]
+
+
+def parse_results(payload):
+    """Decodes a FRAME_RESULTS payload into (model_name, [label...])."""
+    assert payload[0] == FRAME_RESULTS, hex(payload[0])
+    name_len = payload[1]
+    model = payload[2:2 + name_len].decode()
+    offset = 2 + name_len
+    (count,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    labels = []
+    for _ in range(count):
+        (label, _distance, classes) = struct.unpack_from("<III", payload, offset)
+        offset += 12 + 4 * classes
+        labels.append(label)
+    return model, labels
+
+
+def parse_stream_windows(payload):
+    """Decodes a FRAME_STREAM_WINDOWS payload into (first_index, [label...])."""
+    assert payload[0] == FRAME_STREAM_WINDOWS, hex(payload[0])
+    (first_index, count) = struct.unpack_from("<QI", payload, 1)
+    labels = []
+    offset = 13
+    for _ in range(count):
+        (label, _distance, classes) = struct.unpack_from("<III", payload, offset)
+        offset += 12 + 4 * classes
+        labels.append(label)
+    return first_index, labels

@@ -1,10 +1,15 @@
 // pulphd_cli — command-line front-end for the library.
 //
-// Subcommands: train, info, eval, price, serve. Every command answers
-// `--help`; the full reference (flags, defaults, the PULPHD_BACKEND
+// Subcommands: train, info, eval, price, serve, stream. Every command
+// answers `--help`; the full reference (flags, defaults, the PULPHD_BACKEND
 // environment variable and the serve wire protocol) lives in docs/cli.md,
 // which CI keeps in lockstep with the help text below (tools/check_docs.py
 // asserts the --help output appears verbatim in the doc).
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -12,14 +17,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.hpp"
+#include "common/io.hpp"
 #include "common/table.hpp"
 #include "emg/protocol.hpp"
 #include "hd/serialization.hpp"
 #include "kernels/chain.hpp"
+#include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "sim/power.hpp"
@@ -53,6 +66,11 @@ const char kTopLevelHelp[] =
     "        [--idle-timeout SECONDS] [--request-timeout MS]\n"
     "      Long-lived multi-model classification daemon; see\n"
     "      `pulphd_cli serve --help`.\n"
+    "  stream (--socket PATH | --tcp PORT) --window W --hop H [--model NAME]\n"
+    "         [--chunk N] [--rate HZ] [--csv FILE]\n"
+    "      Streaming classification client: replay a CSV of samples into a\n"
+    "      running serve daemon and print one decision per hop; see\n"
+    "      `pulphd_cli stream --help`.\n"
     "\n"
     "common flags:\n"
     "  --threads T   host threads for batch encoding/classification\n"
@@ -114,6 +132,30 @@ const char kServeHelp[] =
     "                       `err code=timeout` response; a request already\n"
     "                       executing is never interrupted\n"
     "                       (0 = never; default 0)\n";
+
+const char kStreamHelp[] =
+    "usage: pulphd_cli stream (--socket PATH | --tcp PORT) --window W --hop H\n"
+    "                         [--model NAME] [--chunk N] [--rate HZ]\n"
+    "                         [--csv FILE]\n"
+    "\n"
+    "Streaming classification client: opens a binary (phd2) streaming\n"
+    "session on a running `pulphd_cli serve` daemon, replays a CSV of\n"
+    "samples (one row per sample, one numeric column per channel; a header\n"
+    "row and #-comment lines are skipped) and prints one decision line per\n"
+    "completed window — bit-identical to a batch classify of each window's\n"
+    "buffered samples. Window w covers samples [w*hop, w*hop + window).\n"
+    "\n"
+    "flags:\n"
+    "  --socket PATH  connect to the daemon's Unix-domain socket\n"
+    "  --tcp PORT     connect to the daemon at 127.0.0.1:PORT\n"
+    "  --window W     samples per decision window (>= the model's N-gram)\n"
+    "  --hop H        samples between consecutive decisions\n"
+    "  --model NAME   session model (default: the daemon's default model)\n"
+    "  --chunk N      samples per stream-push (default: H, one decision per\n"
+    "                 push once the first window has filled)\n"
+    "  --rate HZ      replay in real time at HZ samples/second (0 = as fast\n"
+    "                 as the daemon accepts; default 0)\n"
+    "  --csv FILE     read samples from FILE instead of stdin\n";
 
 [[noreturn]] void usage_error(const char* help) {
   std::fputs(help, stderr);
@@ -405,6 +447,246 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// --- stream ---------------------------------------------------------------
+
+struct StreamOptions {
+  std::string unix_path;
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  std::string model;
+  std::size_t window = 0;
+  std::size_t hop = 0;
+  std::size_t chunk = 0;  ///< samples per push; 0 = hop
+  double rate_hz = 0.0;   ///< 0 = replay as fast as possible
+  std::string csv_path;   ///< empty = stdin
+};
+
+StreamOptions parse_stream(int argc, char** argv) {
+  StreamOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (is_help_flag(flag.c_str())) {
+      std::fputs(kStreamHelp, stdout);
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI argument parsing.
+      std::exit(0);
+    }
+    if (i + 1 >= argc) usage_error(kStreamHelp);
+    const std::string value = argv[++i];
+    if (flag == "--socket") {
+      opt.unix_path = value;
+    } else if (flag == "--tcp") {
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || port == 0 || port > 65535) {
+        usage_error(kStreamHelp);
+      }
+      opt.tcp = true;
+      opt.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--model") {
+      opt.model = value;
+    } else if (flag == "--window") {
+      opt.window = parse_count(value, kStreamHelp);
+    } else if (flag == "--hop") {
+      opt.hop = parse_count(value, kStreamHelp);
+    } else if (flag == "--chunk") {
+      opt.chunk = parse_count(value, kStreamHelp);
+    } else if (flag == "--rate") {
+      char* end = nullptr;
+      opt.rate_hz = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() || opt.rate_hz < 0.0) {
+        usage_error(kStreamHelp);
+      }
+    } else if (flag == "--csv") {
+      opt.csv_path = value;
+    } else {
+      usage_error(kStreamHelp);
+    }
+  }
+  if (opt.unix_path.empty() == !opt.tcp) usage_error(kStreamHelp);  // exactly one listener
+  if (opt.window == 0 || opt.hop == 0) usage_error(kStreamHelp);
+  return opt;
+}
+
+/// One CSV row -> one sample. Tokens are floats separated by commas and/or
+/// blanks; returns false on a non-numeric token (used to skip a header row).
+bool parse_sample_row(const std::string& line, hd::Sample& out) {
+  out.clear();
+  const char* p = line.c_str();
+  while (*p != '\0') {
+    while (*p == ' ' || *p == '\t' || *p == ',' || *p == '\r') ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const float v = std::strtof(p, &end);
+    if (end == p) return false;
+    out.push_back(v);
+    p = end;
+  }
+  return !out.empty();
+}
+
+std::vector<hd::Sample> load_csv_samples(const std::string& path) {
+  std::ifstream file;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) throw std::runtime_error("stream: cannot open " + path);
+  }
+  std::istream& in = path.empty() ? std::cin : file;
+  std::vector<hd::Sample> samples;
+  std::string line;
+  hd::Sample sample;
+  bool first_row = true;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (!parse_sample_row(line, sample)) {
+      if (first_row) {
+        first_row = false;  // a titled CSV: skip the header row only
+        continue;
+      }
+      throw std::runtime_error("stream: " + (path.empty() ? std::string("<stdin>") : path) +
+                               " line " + std::to_string(lineno) + ": not a numeric sample row");
+    }
+    first_row = false;
+    if (!samples.empty() && sample.size() != samples.front().size()) {
+      throw std::runtime_error("stream: " + (path.empty() ? std::string("<stdin>") : path) +
+                               " line " + std::to_string(lineno) + ": " +
+                               std::to_string(sample.size()) + " columns, expected " +
+                               std::to_string(samples.front().size()));
+    }
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+int connect_stream_socket(const StreamOptions& opt) {
+  if (!opt.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("stream: socket path too long: " + opt.unix_path);
+    }
+    std::memcpy(addr.sun_path, opt.unix_path.c_str(), opt.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw std::runtime_error("stream: socket: " + io::errno_text(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("stream: connect " + opt.unix_path + ": " + io::errno_text(err));
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt.tcp_port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("stream: socket: " + io::errno_text(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("stream: connect 127.0.0.1:" + std::to_string(opt.tcp_port) + ": " +
+                             io::errno_text(err));
+  }
+  return fd;
+}
+
+void stream_send(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("stream: send: " + io::errno_text(errno));
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+serve::BinaryResponse stream_recv(int fd, serve::BinaryResponseParser& parser) {
+  while (true) {
+    if (auto response = parser.next()) return *std::move(response);
+    char buf[65536];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("stream: read: " + io::errno_text(errno));
+    }
+    if (n == 0) throw std::runtime_error("stream: server closed the connection");
+    parser.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+int cmd_stream(int argc, char** argv) {
+  const StreamOptions opt = parse_stream(argc, argv);
+  const std::vector<hd::Sample> samples = load_csv_samples(opt.csv_path);
+  if (samples.empty()) {
+    std::fprintf(stderr, "pulphd: stream: no samples in the input\n");
+    return 1;
+  }
+  const int fd = connect_stream_socket(opt);
+  serve::BinaryResponseParser parser;
+  stream_send(fd, std::string(serve::kBinaryMagic) +
+                      serve::format_binary_stream_open_request(
+                          opt.model, static_cast<std::uint32_t>(opt.window),
+                          static_cast<std::uint32_t>(opt.hop)));
+  serve::BinaryResponse response = stream_recv(fd, parser);
+  if (response.type == serve::kFrameError) {
+    std::fprintf(stderr, "pulphd: stream: err code=%s msg=%s\n", response.error_code.c_str(),
+                 response.error_message.c_str());
+    ::close(fd);
+    return 1;
+  }
+  std::printf("session model=%s window=%u hop=%u (%zu samples, %zu channels%s)\n",
+              response.model.c_str(), response.window, response.hop, samples.size(),
+              samples.front().size(), opt.rate_hz > 0.0 ? ", real-time replay" : "");
+  std::fflush(stdout);
+
+  const std::size_t chunk = opt.chunk != 0 ? opt.chunk : opt.hop;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  std::uint64_t windows = 0;
+  while (sent < samples.size()) {
+    const std::size_t take = std::min(chunk, samples.size() - sent);
+    if (opt.rate_hz > 0.0) {
+      // Real-time replay: the last sample of this push "arrives" at
+      // (sent + take) / rate seconds into the recording.
+      const std::chrono::duration<double> due_s((static_cast<double>(sent + take)) / opt.rate_hz);
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(due_s));
+    }
+    stream_send(fd, serve::format_binary_stream_push_request(
+                        std::span<const hd::Sample>(samples).subspan(sent, take)));
+    response = stream_recv(fd, parser);
+    if (response.type == serve::kFrameError) {
+      std::fprintf(stderr, "pulphd: stream: err code=%s msg=%s\n", response.error_code.c_str(),
+                   response.error_message.c_str());
+      ::close(fd);
+      return 1;
+    }
+    for (std::size_t i = 0; i < response.decisions.size(); ++i) {
+      const hd::AmDecision& d = response.decisions[i];
+      std::printf("window %llu label=%zu distance=%zu\n",
+                  static_cast<unsigned long long>(response.first_window + i), d.label,
+                  d.distance);
+    }
+    if (!response.decisions.empty()) std::fflush(stdout);
+    windows += response.decisions.size();
+    sent += take;
+  }
+  stream_send(fd, serve::format_binary_command(serve::kFrameStreamClose));
+  response = stream_recv(fd, parser);
+  ::close(fd);
+  if (response.type == serve::kFrameError) {
+    std::fprintf(stderr, "pulphd: stream: err code=%s msg=%s\n", response.error_code.c_str(),
+                 response.error_message.c_str());
+    return 1;
+  }
+  std::printf("streamed %zu samples, %llu windows\n", sent,
+              static_cast<unsigned long long>(response.windows_total));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,6 +701,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "stream") return cmd_stream(argc, argv);
     if (command == "train" || command == "info" || command == "eval" || command == "price") {
       const Options opt = parse_model_command(argc, argv);
       if (command == "train") return cmd_train(opt);

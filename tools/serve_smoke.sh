@@ -12,6 +12,10 @@
 set -euo pipefail
 
 CLI=${1:?usage: serve_smoke.sh path/to/pulphd_cli}
+# The python clients share the phd2 frame constants with tools/phd2_wire.py
+# (the one python-side home for those bytes; see src/serve/protocol.hpp).
+TOOLS_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+export PYTHONPATH="$TOOLS_DIR${PYTHONPATH:+:$PYTHONPATH}"
 WORK=$(mktemp -d)
 SERVE_PID=""
 TRAIN_PID=""
@@ -89,25 +93,14 @@ grep -q "^ok bye$" "$WORK/out.txt"
 # server must answer every frame in request order and then close.
 python3 - "$WORK/phd.sock" <<'EOF'
 import socket, struct, sys
+import phd2_wire as wire
 
-def frame(payload):
-    return struct.pack("<I", len(payload)) + payload
-
-def classify(name, trials):
-    payload = bytearray([0x04, len(name)]) + name.encode()
-    payload += struct.pack("<I", len(trials))
-    for trial in trials:
-        payload += struct.pack("<IH", len(trial), len(trial[0]))
-        for sample in trial:
-            payload += struct.pack(f"<{len(sample)}f", *sample)
-    return frame(bytes(payload))
-
-burst = b"PHD2"                                   # negotiation magic
-burst += frame(b"\x01")                           # ping
-burst += frame(b"\x02")                           # models
-burst += classify("subj1", [[(1, 2, 3, 4), (2, 3, 4, 5), (3, 4, 5, 6)]])
-burst += classify("", [[(1, 2, 3, 4)]])           # default route
-burst += frame(b"\x03")                           # quit
+burst = wire.MAGIC                                # negotiation magic
+burst += wire.command(wire.FRAME_PING)
+burst += wire.command(wire.FRAME_MODELS)
+burst += wire.classify("subj1", [[(1, 2, 3, 4), (2, 3, 4, 5), (3, 4, 5, 6)]])
+burst += wire.classify("", [[(1, 2, 3, 4)]])      # default route
+burst += wire.command(wire.FRAME_QUIT)
 
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s.connect(sys.argv[1])
@@ -119,27 +112,18 @@ while True:
         break
     buf += chunk
 
-def next_frame(buf):
-    assert len(buf) >= 4, "truncated length prefix"
-    (length,) = struct.unpack_from("<I", buf)
-    assert len(buf) >= 4 + length, "truncated frame payload"
-    return buf[4:4 + length], buf[4 + length:]
-
-def result_model(payload):
-    name_len = payload[1]
-    return payload[2:2 + name_len].decode()
-
 types = []
 payloads = []
 while buf:
-    payload, buf = next_frame(buf)
+    payload, buf = wire.next_frame(buf)
     types.append(payload[0])
     payloads.append(payload)
-assert types == [0x81, 0x83, 0x84, 0x84, 0x82], [hex(t) for t in types]
+assert types == [wire.FRAME_PONG, wire.FRAME_MODEL_LIST, wire.FRAME_RESULTS,
+                 wire.FRAME_RESULTS, wire.FRAME_BYE], [hex(t) for t in types]
 (model_count,) = struct.unpack_from("<I", payloads[1], 1)
 assert model_count == 2, model_count
-assert result_model(payloads[2]) == "subj1"
-assert result_model(payloads[3]) == "subj0"       # default routed
+assert wire.parse_results(payloads[2])[0] == "subj1"
+assert wire.parse_results(payloads[3])[0] == "subj0"   # default routed
 print("binary pipelined burst OK")
 EOF
 
@@ -150,15 +134,13 @@ EOF
 # and keep serving other clients as if nothing happened.
 python3 - "$WORK/phd.sock" <<'EOF'
 import socket, struct, sys
-
-def frame(payload):
-    return struct.pack("<I", len(payload)) + payload
+import phd2_wire as wire
 
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s.connect(sys.argv[1])
 # Declares an 80-byte classify payload but delivers only 7 bytes of it.
-partial = struct.pack("<I", 80) + b"\x04\x05subj1"
-s.sendall(b"PHD2" + frame(b"\x01") + partial)
+partial = struct.pack("<I", 80) + bytes([wire.FRAME_CLASSIFY, 5]) + b"subj1"
+s.sendall(wire.MAGIC + wire.command(wire.FRAME_PING) + partial)
 # RST instead of FIN: SO_LINGER(0) aborts the connection, the harshest
 # disconnect shape the event loop can see (recv fails with ECONNRESET).
 s.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
@@ -167,7 +149,7 @@ s.close()
 # The daemon must still be fully alive for a fresh, complete session.
 s2 = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s2.connect(sys.argv[1])
-s2.sendall(b"PHD2" + frame(b"\x01") + frame(b"\x03"))
+s2.sendall(wire.MAGIC + wire.command(wire.FRAME_PING) + wire.command(wire.FRAME_QUIT))
 buf = b""
 while True:
     chunk = s2.recv(65536)
@@ -176,12 +158,56 @@ while True:
     buf += chunk
 types = []
 while buf:
-    (length,) = struct.unpack_from("<I", buf)
-    types.append(buf[4])
-    buf = buf[4 + length:]
-assert types == [0x81, 0x82], [hex(t) for t in types]
+    payload, buf = wire.next_frame(buf)
+    types.append(payload[0])
+assert types == [wire.FRAME_PONG, wire.FRAME_BYE], [hex(t) for t in types]
 print("mid-frame disconnect survived OK")
 EOF
+
+# Streaming smoke: write a CSV of samples, fetch the offline per-window
+# labels over the classify route (one trial per buffered window slice),
+# then replay the same CSV in real time through `pulphd_cli stream` and
+# require the per-window labels to match line for line.
+WINDOW=6
+HOP=3
+python3 - "$WORK/phd.sock" "$WORK/stream.csv" "$WINDOW" "$HOP" \
+  > "$WORK/offline_labels.txt" <<'EOF'
+import socket, sys
+import phd2_wire as wire
+
+sock_path, csv_path, window, hop = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+stream = [[float((7 * i + 3 * c) % 8) for c in range(4)] for i in range(18)]
+with open(csv_path, "w") as f:
+    f.write("ch0,ch1,ch2,ch3\n")  # header row: the stream client skips it
+    for sample in stream:
+        f.write(",".join(str(int(v)) for v in sample) + "\n")
+
+slices = [stream[start:start + window]
+          for start in range(0, len(stream) - window + 1, hop)]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+s.sendall(wire.MAGIC + wire.classify("subj1", slices) + wire.command(wire.FRAME_QUIT))
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+payload, buf = wire.next_frame(buf)
+_, labels = wire.parse_results(payload)
+assert len(labels) == len(slices), (len(labels), len(slices))
+for index, label in enumerate(labels):
+    print(f"window {index} label={label}")
+EOF
+
+"$CLI" stream --socket "$WORK/phd.sock" --model subj1 \
+  --window "$WINDOW" --hop "$HOP" --rate 200 --csv "$WORK/stream.csv" \
+  > "$WORK/stream_out.txt"
+grep -q "^session model=subj1 window=$WINDOW hop=$HOP" "$WORK/stream_out.txt"
+grep "^window " "$WORK/stream_out.txt" | awk '{print $1, $2, $3}' \
+  > "$WORK/stream_labels.txt"
+diff "$WORK/offline_labels.txt" "$WORK/stream_labels.txt" \
+  || { echo "streamed labels diverge from offline"; exit 1; }
 
 # SIGHUP hot reload: retrain subj1 in place with a different seed, HUP
 # the daemon, and require that the same trial classifies differently —
